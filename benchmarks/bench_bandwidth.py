@@ -1,0 +1,44 @@
+"""Benchmark (extension): batch size vs bandwidth crossover.
+
+The paper's Bandwidth Model amortizes weight fetches over an S_ec-image
+batch and declares the design compute-bound; this bench locates where that
+stops holding — on the DE5-Net's 12.8 GB/s it never does (compute-bound
+even at batch 1), while on a bandwidth-starved embedded part the crossover
+appears at a small batch, exactly the behaviour the model predicts.
+"""
+
+from repro.experiments import batch_bandwidth
+from repro.hw.device import FPGADevice
+
+#: A bandwidth-starved embedded scenario (single-channel LPDDR).
+EMBEDDED_DEVICE = FPGADevice(
+    name="embedded-lpddr",
+    alms=110_000,
+    dsps=120,
+    m20k_blocks=1_200,
+    bandwidth_gbs=2.0,
+)
+
+
+def test_bench_batch_bandwidth(benchmark, seed):
+    result = benchmark(batch_bandwidth.run, "vgg16")
+    print()
+    print(result.render())
+    # DE5-Net: compute-bound at every batch, as the paper concludes.
+    assert result.crossover_batch == 1
+    # Required bandwidth falls monotonically with the batch.
+    required = [p.required_gbs for p in result.points]
+    assert all(a >= b for a, b in zip(required, required[1:]))
+
+
+def test_bench_batch_bandwidth_embedded(benchmark, seed):
+    result = benchmark(
+        batch_bandwidth.run, "vgg16", device=EMBEDDED_DEVICE
+    )
+    print()
+    print(result.render())
+    # The starved device IS memory-bound at batch 1 and recovers with
+    # batching — the crossover the model is built to expose.
+    assert not result.points[0].compute_bound
+    assert result.crossover_batch is not None
+    assert result.crossover_batch > 1

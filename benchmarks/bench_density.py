@@ -1,0 +1,29 @@
+"""Benchmark (extension): pruning-density crossover vs the FDConv baseline.
+
+ABM-SpConv's win is sparsity-funded. This sweep finds where it stops:
+below ~2.2x MAC reduction (uniform density above ~0.45) the fixed FDConv
+design [3] would out-run the paper's configuration on the same device.
+Deep Compression's VGG16 sits at ~3.1x — comfortably inside the winning
+region, which is exactly why the paper's headline holds.
+"""
+
+from repro.experiments import density_sweep
+
+
+def test_bench_density_crossover(benchmark, seed):
+    result = benchmark.pedantic(density_sweep.run, args=(seed,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    print(f"\ncrossover density: {result.crossover_density}")
+    # Throughput decreases monotonically with density.
+    gops = [p.throughput_gops for p in result.points]
+    assert all(a > b for a, b in zip(gops, gops[1:]))
+    # The crossover exists and sits between 30% and 65% density.
+    assert result.crossover_density is not None
+    assert 0.3 <= result.crossover_density <= 0.65
+    # Deep Compression's ~27% overall density is safely in the win region.
+    sparse = next(p for p in result.points if p.density == 0.3)
+    assert sparse.beats(result.baseline_gops)
+    # Fully dense, ABM falls to the SDConv-class regime (no sparsity fuel).
+    dense = next(p for p in result.points if p.density == 1.0)
+    assert dense.throughput_gops < result.baseline_gops

@@ -1,0 +1,48 @@
+"""Micro-benchmarks of the functional convolution kernels.
+
+Not a paper artifact — these time the library's own hot paths (ABM vs
+dense vs zero-skipping execution of the same quantized layer) so
+performance regressions in the numpy implementations are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import sdconv2d, spconv2d
+from repro.core import ConvGeometry, abm_conv2d, encode_layer
+from repro.workloads import synthesize_quantized_layer, synthetic_feature_codes
+from repro.core.specs import conv_spec
+
+
+@pytest.fixture(scope="module")
+def layer():
+    spec = conv_spec("bench", 64, 32, kernel=3, in_rows=28, in_cols=28, padding=1)
+    rng = np.random.default_rng(42)
+    weights = synthesize_quantized_layer(spec, density=0.3, codebook=20, rng=rng)
+    features = synthetic_feature_codes((64, 28, 28), rng)
+    return weights, features, ConvGeometry(kernel=3, padding=1)
+
+
+def test_bench_abm_conv(benchmark, layer):
+    weights, features, geometry = layer
+    encoded = encode_layer("bench", weights)
+    result = benchmark(abm_conv2d, features, encoded, geometry)
+    assert result.multiply_ops < result.accumulate_ops
+
+
+def test_bench_dense_conv(benchmark, layer):
+    weights, features, geometry = layer
+    result = benchmark(sdconv2d, features, weights, geometry)
+    assert result.total_ops > 0
+
+
+def test_bench_spconv(benchmark, layer):
+    weights, features, geometry = layer
+    result = benchmark(spconv2d, features, weights, geometry)
+    assert result.total_ops > 0
+
+
+def test_bench_encoding(benchmark, layer):
+    weights, _, _ = layer
+    encoded = benchmark(encode_layer, "bench", weights)
+    assert encoded.nonzero_count == np.count_nonzero(weights)

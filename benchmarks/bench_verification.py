@@ -1,0 +1,16 @@
+"""Benchmark: the differential verification campaign.
+
+Times the randomized cross-scheme equivalence tester (the harness an RTL
+bring-up would run continuously) and requires a clean pass.
+"""
+
+from repro.core import verify_schemes
+
+
+def test_bench_verification_campaign(benchmark, seed):
+    report = benchmark.pedantic(
+        verify_schemes, kwargs=dict(trials=150, seed=seed), rounds=2, iterations=1
+    )
+    print(f"\n  {report.render()}")
+    assert report.passed
+    assert report.trials == 150

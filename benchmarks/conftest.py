@@ -1,0 +1,16 @@
+"""Benchmark harness configuration.
+
+Every module regenerates one paper artifact (table or figure), times the
+regeneration with pytest-benchmark, prints the rows the paper reports and
+the paper-vs-measured comparison, and asserts the headline shape so a
+regression is a failure, not just a slow run.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    return 1

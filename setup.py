@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file exists so `pip install -e .`
+works on environments without the `wheel` package (offline boxes where the
+PEP 660 editable-wheel path is unavailable).
+"""
+
+from setuptools import setup
+
+setup()

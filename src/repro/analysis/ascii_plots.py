@@ -1,0 +1,111 @@
+"""ASCII plotting for the paper's figures (no plotting library offline).
+
+Two primitives cover everything the paper draws: a line/scatter plot
+(Figure 6's boost curve, Figure 1's roofline levels) and a 2-D heatmap
+(Figure 7's S_ec x N_cu throughput surface).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+#: Glyph ramp for heatmaps, light to dark.
+HEAT_RAMP = " .:-=+*#%@"
+
+
+def line_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    mark_x: Optional[float] = None,
+) -> str:
+    """Render y(x) as an ASCII scatter/line chart.
+
+    ``mark_x`` draws a vertical marker (the chosen design point).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+
+    def row(y: float) -> int:
+        return min(height - 1, int((y_hi - y) / y_span * (height - 1)))
+
+    if mark_x is not None:
+        c = col(mark_x)
+        for r in range(height):
+            grid[r][c] = "|"
+    for x, y in zip(xs, ys):
+        grid[row(y)][col(x)] = "*"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>10.3g} +" + "".join(grid[0]))
+    for r in range(1, height - 1):
+        lines.append(" " * 10 + " |" + "".join(grid[r]))
+    lines.append(f"{y_lo:>10.3g} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"{x_lo:<6.3g}" + " " * (width - 12) + f"{x_hi:>6.3g}")
+    return "\n".join(lines)
+
+
+def heatmap(
+    values: Mapping[Tuple[int, int], float],
+    title: str = "",
+    mark: Optional[Tuple[int, int]] = None,
+    mask: Optional[Mapping[Tuple[int, int], bool]] = None,
+) -> str:
+    """Render a sparse (x, y) -> value map as an ASCII heatmap.
+
+    ``mask`` marks infeasible cells (rendered ``x``); ``mark`` highlights
+    one cell with ``O`` (the paper's chosen design point).
+    """
+    if not values:
+        raise ValueError("empty heatmap")
+    xs = sorted({x for x, _ in values})
+    ys = sorted({y for _, y in values})
+    # Infeasible cells render as 'x' and must not stretch the color scale.
+    usable = [
+        v for k, v in values.items() if mask is None or not mask.get(k, False)
+    ]
+    if not usable:
+        usable = list(values.values())
+    lo, hi = min(usable), max(usable)
+    span = (hi - lo) or 1.0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "      " + " ".join(f"{x:>3}" for x in xs)
+    lines.append(header)
+    for y in reversed(ys):
+        cells = []
+        for x in xs:
+            key = (x, y)
+            if key not in values:
+                cells.append("  .")
+                continue
+            if mask is not None and mask.get(key, False):
+                cells.append("  x")
+                continue
+            if mark == key:
+                cells.append("  O")
+                continue
+            level = int((values[key] - lo) / span * (len(HEAT_RAMP) - 1))
+            level = max(0, min(len(HEAT_RAMP) - 1, level))
+            cells.append("  " + HEAT_RAMP[level])
+        lines.append(f"{y:>5} " + " ".join(cells))
+    lines.append(f"scale: '{HEAT_RAMP[0]}'={lo:.3g} .. '{HEAT_RAMP[-1]}'={hi:.3g}"
+                 + ("   x = infeasible" if mask else "")
+                 + ("   O = chosen" if mark else ""))
+    return "\n".join(lines)

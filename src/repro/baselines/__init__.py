@@ -1,0 +1,22 @@
+"""Executable baseline convolution schemes and published accelerators."""
+
+from .fdconv import DEFAULT_OVERHEAD, DEFAULT_TILE, OaAModel, fdconv2d
+from .published import PublishedAccelerator, get_baseline, published_accelerators
+from .sdconv import SDConvResult, sdconv2d, sdconv_ops
+from .spconv import SpConvResult, spconv2d, spconv_ops
+
+__all__ = [
+    "OaAModel",
+    "fdconv2d",
+    "DEFAULT_TILE",
+    "DEFAULT_OVERHEAD",
+    "PublishedAccelerator",
+    "published_accelerators",
+    "get_baseline",
+    "SDConvResult",
+    "sdconv2d",
+    "sdconv_ops",
+    "SpConvResult",
+    "spconv2d",
+    "spconv_ops",
+]

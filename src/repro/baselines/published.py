@@ -1,0 +1,75 @@
+"""Published accelerator baselines of paper Table 2.
+
+Wraps the literature columns (designs [3], [4], [10], [12], [13]) with the
+derived metrics the paper uses for cross-device comparison: performance
+density (GOP/s per DSP) and frequency-normalized speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..workloads.paper_targets import TABLE2_COLUMNS, Table2Column
+
+
+@dataclass(frozen=True)
+class PublishedAccelerator:
+    """One baseline column with derived comparison metrics."""
+
+    column: Table2Column
+
+    @property
+    def key(self) -> str:
+        return self.column.key
+
+    @property
+    def throughput_gops(self) -> float:
+        return self.column.throughput_gops
+
+    @property
+    def perf_density(self) -> float:
+        """GOP/s per DSP, recomputed from the raw columns."""
+        return self.column.throughput_gops / self.column.dsps
+
+    @property
+    def perf_per_mhz(self) -> float:
+        """Frequency-normalized throughput (GOP/s per MHz)."""
+        return self.column.throughput_gops / self.column.freq_mhz
+
+    def speedup_over(self, other: "PublishedAccelerator") -> float:
+        """Raw throughput ratio vs another design."""
+        return self.throughput_gops / other.throughput_gops
+
+    def speedup_over_normalized(self, other: "PublishedAccelerator") -> float:
+        """Throughput ratio normalized by clock frequency."""
+        return self.perf_per_mhz / other.perf_per_mhz
+
+    def density_advantage(self, other: "PublishedAccelerator") -> float:
+        """Performance-density ratio vs another design."""
+        return self.perf_density / other.perf_density
+
+
+def published_accelerators(
+    cnn: Optional[str] = None, scheme: Optional[str] = None
+) -> List[PublishedAccelerator]:
+    """All Table 2 columns, optionally filtered by CNN model or scheme."""
+    rows = []
+    for column in TABLE2_COLUMNS:
+        if cnn is not None and column.cnn != cnn.lower():
+            continue
+        if scheme is not None and column.scheme.lower() != scheme.lower():
+            continue
+        rows.append(PublishedAccelerator(column))
+    return rows
+
+
+def get_baseline(key: str) -> PublishedAccelerator:
+    """Look one design up by its key (e.g. ``'zeng-vgg16'``)."""
+    for column in TABLE2_COLUMNS:
+        if column.key == key:
+            return PublishedAccelerator(column)
+    raise KeyError(
+        f"unknown baseline {key!r}; available: "
+        f"{', '.join(column.key for column in TABLE2_COLUMNS)}"
+    )

@@ -1,0 +1,56 @@
+"""SDConv baseline: dense spatial convolution.
+
+The reference the paper normalizes everything to. Functionally this is
+plain Equation (1); the integer version is the oracle ABM-SpConv must match
+bit-for-bit, and the op count (2 per MAC) is the '#OP' every throughput
+number in Table 2 divides by. The MAC-array timing model lives in
+:mod:`repro.hw.mac_array`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.abm import ConvGeometry, direct_conv2d_codes
+from ..core.specs import LayerSpec
+
+
+@dataclass(frozen=True)
+class SDConvResult:
+    """Output and op count of a dense spatial convolution."""
+
+    output: np.ndarray
+    multiply_ops: int
+    accumulate_ops: int
+
+    @property
+    def total_ops(self) -> int:
+        return self.multiply_ops + self.accumulate_ops
+
+
+def sdconv2d(
+    feature_codes: np.ndarray,
+    weight_codes: np.ndarray,
+    geometry: ConvGeometry,
+    bias_codes: np.ndarray = None,
+) -> SDConvResult:
+    """Dense integer convolution with exact op accounting.
+
+    Every weight — zero or not — costs one multiply and one accumulate:
+    dense hardware cannot skip, which is exactly the gap the sparse
+    schemes exploit.
+    """
+    output = direct_conv2d_codes(feature_codes, weight_codes, geometry, bias_codes)
+    weights = np.asarray(weight_codes)
+    pixels = int(output.shape[1] * output.shape[2])
+    total_macs = int(weights.size) * pixels
+    return SDConvResult(
+        output=output, multiply_ops=total_macs, accumulate_ops=total_macs
+    )
+
+
+def sdconv_ops(spec: LayerSpec) -> int:
+    """Analytic dense op count (2 per MAC) for a layer spec."""
+    return spec.dense_ops

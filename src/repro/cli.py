@@ -1,0 +1,249 @@
+"""Command-line interface: ``abm-spconv <command>``.
+
+Commands
+--------
+- ``experiments [--only ID]`` — regenerate the paper's tables/figures and
+  print paper-vs-measured comparisons.
+- ``simulate --model {alexnet,vgg16}`` — run the accelerator simulator on a
+  calibrated synthetic workload and print the per-layer report.
+- ``explore --model {alexnet,vgg16}`` — run the design-space exploration
+  flow and print the chosen configuration.
+- ``roofline`` — print the Figure 1 roofline for a device.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.compare import render_comparisons
+from .dse.explorer import explore
+from .dse.roofline import RooflineModel
+from .hw.accelerator import AcceleratorSimulator
+from .hw.config import PAPER_CONFIG_ALEXNET, PAPER_CONFIG_VGG16
+from .hw.device import get_device
+from .workloads.synthetic import synthetic_model_workload
+
+_EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig6",
+    "fig7",
+    "utilization",
+    "bitwidth",
+    "batch_bandwidth",
+    "density_sweep",
+)
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from . import experiments as exp
+
+    names = [args.only] if args.only else list(_EXPERIMENTS)
+    for name in names:
+        if name not in _EXPERIMENTS:
+            print(f"unknown experiment {name!r}; choose from {_EXPERIMENTS}")
+            return 2
+        module = getattr(exp, name)
+        result = module.run(seed=args.seed)
+        print(f"==== {name} " + "=" * max(0, 60 - len(name)))
+        print(result.render())
+        print()
+        comparisons = getattr(result, "comparisons", ())
+        if comparisons:
+            print(render_comparisons(comparisons, title="paper vs measured"))
+            print()
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = PAPER_CONFIG_VGG16 if args.model == "vgg16" else PAPER_CONFIG_ALEXNET
+    device = get_device(args.device)
+    workload = synthetic_model_workload(args.model, seed=args.seed)
+    simulator = AcceleratorSimulator(config, device)
+    result = simulator.simulate(workload)
+    print(f"model: {args.model}   config: {config.describe()}")
+    print(simulator.utilization_summary(result))
+    print()
+    print(f"throughput:       {result.throughput_gops:8.1f} GOP/s (dense-op basis)")
+    print(f"effective rate:   {result.effective_gops:8.1f} GOP/s (executed ops)")
+    print(f"inference time:   {result.seconds_per_image * 1e3:8.2f} ms/image")
+    print(f"CU utilization:   {result.cu_utilization:8.1%}")
+    print(f"avg bandwidth:    {result.bandwidth_gbs:8.2f} GB/s")
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    workload = synthetic_model_workload(args.model, seed=args.seed)
+    result = explore(workload, device)
+    print(f"exploration for {args.model} on {device.name}")
+    print(f"  sharing factor N:    {result.n_share}")
+    print(f"  optimal N_knl:       {result.chosen_n_knl}")
+    print(f"  chosen config:       {result.chosen.describe()}")
+    print(
+        f"  buffers:             D_f={result.buffers.d_f} "
+        f"D_w={result.buffers.d_w} D_q={result.buffers.d_q}"
+    )
+    print(f"  predicted:           {result.performance.throughput_gops:.1f} GOP/s")
+    print(
+        f"  bandwidth:           {result.bandwidth.required_bandwidth_gbs:.2f} GB/s "
+        f"needed of {device.bandwidth_gbs:g} "
+        f"({'compute' if result.bandwidth.compute_bound else 'memory'}-bound)"
+    )
+    print("  top candidates:")
+    for candidate in result.candidates:
+        print(
+            f"    S_ec={candidate.s_ec:>2} N_cu={candidate.n_cu} -> "
+            f"{candidate.throughput_gops:6.1f} GOP/s  "
+            f"logic {candidate.utilization.logic:.0%} "
+            f"dsp {candidate.utilization.dsp:.0%} "
+            f"mem {candidate.utilization.memory:.0%}"
+        )
+    return 0
+
+
+def _cmd_roofline(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    print(RooflineModel(device, freq_mhz=args.freq).render())
+    return 0
+
+
+def _cmd_system(args: argparse.Namespace) -> int:
+    from .nn.models import get_architecture
+    from .system import run_system
+
+    config = PAPER_CONFIG_VGG16 if args.model == "vgg16" else PAPER_CONFIG_ALEXNET
+    result = run_system(
+        get_architecture(args.model),
+        synthetic_model_workload(args.model, seed=args.seed),
+        config,
+        get_device(args.device),
+        host_ops_per_second=args.host_gops * 1e9,
+    )
+    print(f"pipelined CPU/FPGA system — {args.model}")
+    print(f"  FPGA stage:      {result.fpga_seconds * 1e3:8.2f} ms/image")
+    print(f"  host stage:      {result.host_seconds * 1e3:8.2f} ms/image")
+    print(f"  CPU hidden:      {result.cpu_hidden}")
+    print(f"  bottleneck:      {result.bottleneck}")
+    print(f"  FPGA-only:       {result.fpga_gops:8.1f} GOP/s")
+    print(f"  overall system:  {result.system_gops:8.1f} GOP/s")
+    print(f"  pipeline gain:   {result.pipeline_speedup:8.2f}x vs sequential")
+    return 0
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    """Encode a synthetic pruned model and write the deployment blob."""
+    import numpy as np
+
+    from .core import encode_layer, save_model
+    from .nn.models import get_architecture
+    from .prune.schedules import deep_compression_schedule
+    from .workloads.codebooks import codebook_size
+    from .workloads.synthetic import synthesize_quantized_layer
+
+    architecture = get_architecture(args.model)
+    schedule = deep_compression_schedule(args.model)
+    rng = np.random.default_rng(args.seed)
+    layers = []
+    skipped = 0
+    for spec in architecture.accelerated_specs():
+        if spec.weight_count > args.max_layer_weights:
+            skipped += 1
+            continue
+        codes = synthesize_quantized_layer(
+            spec,
+            schedule.density(spec.name),
+            codebook_size(args.model, spec.name),
+            rng,
+        )
+        layers.append(encode_layer(spec.name, codes))
+    size = save_model(layers, args.out)
+    print(f"wrote {args.out}: {len(layers)} layers, {size / 1e6:.2f} MB")
+    if skipped:
+        print(f"({skipped} layers above --max-layer-weights were skipped)")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .core.verify import verify_schemes
+
+    report = verify_schemes(trials=args.trials, seed=args.seed)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import write_report
+
+    size = write_report(
+        args.out, seed=args.seed, include_extensions=not args.no_extensions
+    )
+    print(f"wrote {args.out} ({size / 1024:.1f} KiB)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="abm-spconv",
+        description="ABM-SpConv (DAC 2019) reproduction toolkit",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_exp.add_argument("--only", help=f"one of {', '.join(_EXPERIMENTS)}")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_sim = sub.add_parser("simulate", help="simulate a model on the accelerator")
+    p_sim.add_argument("--model", choices=("alexnet", "vgg16"), default="vgg16")
+    p_sim.add_argument("--device", default="Stratix-V GXA7")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_dse = sub.add_parser("explore", help="run design space exploration")
+    p_dse.add_argument("--model", choices=("alexnet", "vgg16"), default="vgg16")
+    p_dse.add_argument("--device", default="Stratix-V GXA7")
+    p_dse.set_defaults(func=_cmd_explore)
+
+    p_roof = sub.add_parser("roofline", help="print the Figure 1 roofline")
+    p_roof.add_argument("--device", default="Stratix-V GXA7")
+    p_roof.add_argument("--freq", type=float, default=200.0)
+    p_roof.set_defaults(func=_cmd_roofline)
+
+    p_sys = sub.add_parser("system", help="pipelined CPU/FPGA system model")
+    p_sys.add_argument("--model", choices=("alexnet", "vgg16"), default="vgg16")
+    p_sys.add_argument("--device", default="Stratix-V GXA7")
+    p_sys.add_argument("--host-gops", type=float, default=4.0,
+                       help="host elementwise rate in Gops/s")
+    p_sys.set_defaults(func=_cmd_system)
+
+    p_enc = sub.add_parser("encode", help="write an encoded-model blob")
+    p_enc.add_argument("--model", choices=("alexnet", "vgg16"), default="alexnet")
+    p_enc.add_argument("--out", default="model.abms")
+    p_enc.add_argument("--max-layer-weights", type=int, default=3_000_000,
+                       help="skip layers with more weights (memory guard)")
+    p_enc.set_defaults(func=_cmd_encode)
+
+    p_ver = sub.add_parser("verify", help="differential verification campaign")
+    p_ver.add_argument("--trials", type=int, default=200)
+    p_ver.set_defaults(func=_cmd_verify)
+
+    p_rep = sub.add_parser("report", help="write the full reproduction report")
+    p_rep.add_argument("--out", default="reproduction_report.md")
+    p_rep.add_argument("--no-extensions", action="store_true",
+                       help="paper artifacts only")
+    p_rep.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

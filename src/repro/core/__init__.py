@@ -1,0 +1,118 @@
+"""ABM-SpConv core: the paper's primary contribution.
+
+- :mod:`~repro.core.abm` — the accumulate-before-multiply factored
+  convolution (Equation 2), bit-exact against direct integer convolution.
+- :mod:`~repro.core.encoding` — the index-based sparse weight encoding
+  (WT-Buffer + Q-Table, Figure 4).
+- :mod:`~repro.core.opcount` — operation-count analysis of SDConv / FDConv /
+  SpConv / ABM-SpConv (Table 1).
+- :mod:`~repro.core.specs` — analytic layer dimension records.
+- :mod:`~repro.core.schemes` — scheme taxonomy and computational roofs
+  (Figure 1).
+"""
+
+from .abm import (
+    ABMConvResult,
+    ConvGeometry,
+    abm_conv2d,
+    abm_conv2d_from_codes,
+    abm_conv2d_reference,
+    abm_fc,
+    direct_conv2d_codes,
+)
+from .encoding import (
+    EncodedKernel,
+    EncodedLayer,
+    QTableEntry,
+    decode_kernel,
+    decode_layer,
+    encode_kernel,
+    encode_layer,
+    encoded_model_bytes,
+    pack_index,
+    unpack_index,
+)
+from .opcount import (
+    FDCONV_REDUCTION,
+    LayerOpCounts,
+    ModelOpCounts,
+    analytic_layer_counts,
+    analytic_model_counts,
+    expected_distinct_values,
+    measured_layer_counts,
+)
+from .schemes import (
+    ComputationalRoof,
+    ConvScheme,
+    abm_roof,
+    reduced_mac_roof,
+    sdconv_roof,
+)
+from .serialize import (
+    FORMAT_VERSION,
+    SerializationError,
+    dump_layers,
+    dumps,
+    load_layers,
+    load_model,
+    loads,
+    save_model,
+)
+from .specs import CONV, FC, LayerSpec, conv_spec, fc_spec
+from .verify import (
+    TrialConfig,
+    VerificationReport,
+    random_trial_config,
+    run_trial,
+    verify_schemes,
+)
+
+__all__ = [
+    "ABMConvResult",
+    "ConvGeometry",
+    "abm_conv2d",
+    "abm_conv2d_from_codes",
+    "abm_conv2d_reference",
+    "abm_fc",
+    "direct_conv2d_codes",
+    "EncodedKernel",
+    "EncodedLayer",
+    "QTableEntry",
+    "encode_kernel",
+    "decode_kernel",
+    "encode_layer",
+    "decode_layer",
+    "encoded_model_bytes",
+    "pack_index",
+    "unpack_index",
+    "FDCONV_REDUCTION",
+    "LayerOpCounts",
+    "ModelOpCounts",
+    "analytic_layer_counts",
+    "analytic_model_counts",
+    "measured_layer_counts",
+    "expected_distinct_values",
+    "ComputationalRoof",
+    "ConvScheme",
+    "sdconv_roof",
+    "reduced_mac_roof",
+    "abm_roof",
+    "CONV",
+    "FC",
+    "LayerSpec",
+    "conv_spec",
+    "fc_spec",
+    "FORMAT_VERSION",
+    "SerializationError",
+    "dump_layers",
+    "load_layers",
+    "dumps",
+    "loads",
+    "save_model",
+    "load_model",
+    "TrialConfig",
+    "VerificationReport",
+    "random_trial_config",
+    "run_trial",
+    "verify_schemes",
+]

@@ -1,0 +1,243 @@
+"""ABM-SpConv: accumulate-before-multiply sparse convolution (Equation 2).
+
+Because a q-bit quantized weight can only take ``Q = 2**q`` distinct values,
+the inner product of a convolution kernel factors by value::
+
+    sum_i w_i * x_i  ==  sum_p Wp * (sum_{i : w_i == Wp} x_i)
+
+The two-stage flow is: (1) for every distinct nonzero value Wp, *accumulate*
+the feature pixels it touches; (2) *multiply* each partial sum by Wp once
+and sum the products. Stage 1 is pure addition — cheap ALM logic on an FPGA
+— while stage 2 needs only one multiplier per several accumulators, which is
+the whole architectural point of the paper.
+
+All arithmetic here is exact integer arithmetic on fixed-point codes, so the
+factorization is bit-exact against direct convolution (a property test).
+Rounding to the 8-bit feature format happens once, after the kernel sum, as
+in the hardware's Sum/Round stage.
+
+Two implementations are provided: a literal reference loop
+(:func:`abm_conv2d_reference`) used as the test oracle, and a vectorized
+version (:func:`abm_conv2d`) that shares its accumulate-by-value structure
+but batches all output pixels of a channel through numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn.layers.conv import im2col
+from .encoding import EncodedLayer, encode_layer
+
+
+@dataclass(frozen=True)
+class ConvGeometry:
+    """Spatial parameters of a convolution (K, S, padding, groups)."""
+
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+
+
+@dataclass(frozen=True)
+class ABMConvResult:
+    """Output of an ABM-SpConv execution plus its exact operation counts."""
+
+    output: np.ndarray
+    accumulate_ops: int
+    multiply_ops: int
+
+    @property
+    def total_ops(self) -> int:
+        """Accumulates + multiplies, the paper's ABM '#OP'."""
+        return self.accumulate_ops + self.multiply_ops
+
+    @property
+    def acc_to_mult_ratio(self) -> float:
+        """Arithmetic-intensity ratio that sizes the sharing factor N."""
+        if self.multiply_ops == 0:
+            return 0.0
+        return self.accumulate_ops / self.multiply_ops
+
+
+def _conv_output_hw(
+    rows: int, cols: int, geometry: ConvGeometry
+) -> Tuple[int, int]:
+    out_rows = (rows + 2 * geometry.padding - geometry.kernel) // geometry.stride + 1
+    out_cols = (cols + 2 * geometry.padding - geometry.kernel) // geometry.stride + 1
+    if out_rows < 1 or out_cols < 1:
+        raise ValueError("convolution geometry does not fit the input")
+    return out_rows, out_cols
+
+
+def _check_feature_codes(features: np.ndarray) -> np.ndarray:
+    arr = np.asarray(features)
+    if arr.ndim != 3:
+        raise ValueError(f"feature codes must be CHW, got shape {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError("ABM-SpConv operates on integer feature codes")
+    return arr.astype(np.int64)
+
+
+def abm_conv2d_reference(
+    feature_codes: np.ndarray,
+    encoded: EncodedLayer,
+    geometry: ConvGeometry,
+    bias_codes: Optional[np.ndarray] = None,
+) -> ABMConvResult:
+    """Literal two-stage ABM-SpConv (slow; the test oracle).
+
+    Walks every output pixel of every kernel, accumulates feature pixels per
+    distinct weight value, then multiplies each partial sum once — exactly
+    the loop structure of paper Section 3 steps (1)-(2).
+    """
+    features = _check_feature_codes(feature_codes)
+    channels, rows, cols = features.shape
+    out_rows, out_cols = _conv_output_hw(rows, cols, geometry)
+    kernels = len(encoded.kernels)
+    if kernels % geometry.groups:
+        raise ValueError("output channels must divide into groups")
+    padded = np.pad(
+        features,
+        ((0, 0), (geometry.padding,) * 2, (geometry.padding,) * 2),
+        mode="constant",
+    )
+    group_in = channels // geometry.groups
+    group_out = kernels // geometry.groups
+    output = np.zeros((kernels, out_rows, out_cols), dtype=np.int64)
+    acc_ops = 0
+    mult_ops = 0
+    k = geometry.kernel
+    for m, kernel in enumerate(encoded.kernels):
+        base_channel = (m // group_out) * group_in
+        for r in range(out_rows):
+            for c in range(out_cols):
+                r0 = r * geometry.stride
+                c0 = c * geometry.stride
+                window = padded[
+                    base_channel : base_channel + group_in, r0 : r0 + k, c0 : c0 + k
+                ].reshape(-1)
+                total = 0
+                for value, block in kernel.value_groups():
+                    # Stage 1: accumulate all pixels sharing this value.
+                    partial = int(window[block].sum())
+                    acc_ops += block.size
+                    # Stage 2: one multiply + final accumulation.
+                    total += value * partial
+                    mult_ops += 1
+                if bias_codes is not None:
+                    total += int(bias_codes[m])
+                output[m, r, c] = total
+    return ABMConvResult(output=output, accumulate_ops=acc_ops, multiply_ops=mult_ops)
+
+
+def abm_conv2d(
+    feature_codes: np.ndarray,
+    encoded: EncodedLayer,
+    geometry: ConvGeometry,
+    bias_codes: Optional[np.ndarray] = None,
+) -> ABMConvResult:
+    """Vectorized ABM-SpConv.
+
+    The value-grouped structure is identical to the reference; numpy batches
+    the accumulate stage over all output pixels of a kernel at once.
+    """
+    features = _check_feature_codes(feature_codes)
+    channels, rows, cols = features.shape
+    out_rows, out_cols = _conv_output_hw(rows, cols, geometry)
+    kernels = len(encoded.kernels)
+    if kernels % geometry.groups:
+        raise ValueError("output channels must divide into groups")
+    group_in = channels // geometry.groups
+    group_out = kernels // geometry.groups
+    output = np.zeros((kernels, out_rows * out_cols), dtype=np.int64)
+    acc_ops = 0
+    mult_ops = 0
+    for g in range(geometry.groups):
+        patches = im2col(
+            features[g * group_in : (g + 1) * group_in],
+            geometry.kernel,
+            geometry.stride,
+            geometry.padding,
+        )
+        pixels = patches.shape[0]
+        for m in range(g * group_out, (g + 1) * group_out):
+            kernel = encoded.kernels[m]
+            totals = np.zeros(pixels, dtype=np.int64)
+            for value, block in kernel.value_groups():
+                partial = patches[:, block].sum(axis=1)
+                totals += value * partial
+                acc_ops += block.size * pixels
+                mult_ops += pixels
+            if bias_codes is not None:
+                totals += int(bias_codes[m])
+            output[m] = totals
+    return ABMConvResult(
+        output=output.reshape(kernels, out_rows, out_cols),
+        accumulate_ops=acc_ops,
+        multiply_ops=mult_ops,
+    )
+
+
+def abm_fc(
+    feature_codes: np.ndarray,
+    encoded: EncodedLayer,
+    bias_codes: Optional[np.ndarray] = None,
+) -> ABMConvResult:
+    """ABM execution of a fully-connected layer (R=C=K=1 view of Eq. 1)."""
+    flat = np.asarray(feature_codes).reshape(-1, 1, 1)
+    return abm_conv2d(flat, encoded, ConvGeometry(kernel=1), bias_codes=bias_codes)
+
+
+def abm_conv2d_from_codes(
+    feature_codes: np.ndarray,
+    weight_codes: np.ndarray,
+    geometry: ConvGeometry,
+    bias_codes: Optional[np.ndarray] = None,
+    name: str = "layer",
+) -> ABMConvResult:
+    """Convenience wrapper: encode dense integer weights, then run ABM."""
+    encoded = encode_layer(name, weight_codes)
+    return abm_conv2d(feature_codes, encoded, geometry, bias_codes=bias_codes)
+
+
+def direct_conv2d_codes(
+    feature_codes: np.ndarray,
+    weight_codes: np.ndarray,
+    geometry: ConvGeometry,
+    bias_codes: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Exact integer spatial convolution — the equivalence oracle for ABM."""
+    features = _check_feature_codes(feature_codes)
+    weights = np.asarray(weight_codes)
+    if weights.ndim != 4:
+        raise ValueError(f"weight codes must be (M, N, K, K), got {weights.shape}")
+    channels = features.shape[0]
+    kernels = weights.shape[0]
+    group_in = weights.shape[1]
+    if channels % group_in:
+        raise ValueError("input channels incompatible with weight shape")
+    groups = channels // group_in
+    if kernels % groups:
+        raise ValueError("output channels must divide into groups")
+    out_rows, out_cols = _conv_output_hw(features.shape[1], features.shape[2], geometry)
+    group_out = kernels // groups
+    output = np.zeros((kernels, out_rows * out_cols), dtype=np.int64)
+    for g in range(groups):
+        patches = im2col(
+            features[g * group_in : (g + 1) * group_in],
+            geometry.kernel,
+            geometry.stride,
+            geometry.padding,
+        )
+        block = weights[g * group_out : (g + 1) * group_out].reshape(group_out, -1)
+        output[g * group_out : (g + 1) * group_out] = (
+            patches.astype(np.int64) @ block.astype(np.int64).T
+        ).T
+    if bias_codes is not None:
+        output += np.asarray(bias_codes, dtype=np.int64)[:, None]
+    return output.reshape(kernels, out_rows, out_cols)

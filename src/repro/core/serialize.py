@@ -1,0 +1,160 @@
+"""Binary serialization of encoded models.
+
+A deployed accelerator consumes the encoded weights as a flat binary blob
+streamed into the WT-Buffer and Q-Table; this module defines that artifact.
+The on-wire layout mirrors the hardware widths of Figure 4 exactly — 16-bit
+index entries, 16-bit Q-Table entries (8-bit VAL + 8-bit NUM), a 16-bit
+per-kernel total — plus a small self-describing header so a host runtime
+can validate and memory-map it.
+
+Layout (little-endian)::
+
+    magic   4s   b"ABMS"
+    version u16  FORMAT_VERSION
+    layers  u16
+    per layer:
+        name_len u8, name utf-8
+        kernel_shape 3 x u32   (N, K, K)
+        kernels u32
+        per kernel:
+            total u16          (nonzero count == index entries)
+            qtable_entries u16
+            qtable entries: (VAL i8, NUM u8) x qtable_entries
+            indices: u16 x total
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, List, Sequence
+
+import numpy as np
+
+from .encoding import EncodedKernel, EncodedLayer, QTableEntry
+
+MAGIC = b"ABMS"
+FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Raised when a blob is malformed or version-incompatible."""
+
+
+def _write_kernel(stream: BinaryIO, kernel: EncodedKernel) -> None:
+    stream.write(struct.pack("<HH", kernel.nonzero_count, kernel.qtable_entries))
+    for entry in kernel.qtable:
+        stream.write(struct.pack("<bB", entry.value, entry.count))
+    stream.write(kernel.indices.astype("<u2").tobytes())
+
+
+def _read_kernel(stream: BinaryIO, kernel_shape: tuple) -> EncodedKernel:
+    header = stream.read(4)
+    if len(header) != 4:
+        raise SerializationError("truncated kernel header")
+    total, entries = struct.unpack("<HH", header)
+    qtable: List[QTableEntry] = []
+    for _ in range(entries):
+        raw = stream.read(2)
+        if len(raw) != 2:
+            raise SerializationError("truncated Q-Table")
+        value, count = struct.unpack("<bB", raw)
+        try:
+            qtable.append(QTableEntry(value=value, count=count))
+        except ValueError as exc:
+            raise SerializationError(f"invalid Q-Table entry: {exc}") from exc
+    raw = stream.read(2 * total)
+    if len(raw) != 2 * total:
+        raise SerializationError("truncated index stream")
+    indices = np.frombuffer(raw, dtype="<u2").astype(np.int64)
+    try:
+        return EncodedKernel(
+            qtable=tuple(qtable), indices=indices, kernel_shape=kernel_shape
+        )
+    except ValueError as exc:
+        raise SerializationError(f"inconsistent kernel record: {exc}") from exc
+
+
+def dump_layers(layers: Sequence[EncodedLayer], stream: BinaryIO) -> None:
+    """Serialize encoded layers to a binary stream."""
+    if len(layers) > 0xFFFF:
+        raise SerializationError("too many layers")
+    stream.write(MAGIC)
+    stream.write(struct.pack("<HH", FORMAT_VERSION, len(layers)))
+    for layer in layers:
+        name = layer.name.encode("utf-8")
+        if len(name) > 0xFF:
+            raise SerializationError(f"layer name too long: {layer.name!r}")
+        if not layer.kernels:
+            raise SerializationError(f"layer {layer.name!r} has no kernels")
+        stream.write(struct.pack("<B", len(name)))
+        stream.write(name)
+        shape = layer.kernels[0].kernel_shape
+        stream.write(struct.pack("<IIII", *shape, len(layer.kernels)))
+        for kernel in layer.kernels:
+            if kernel.kernel_shape != shape:
+                raise SerializationError(
+                    f"layer {layer.name!r} mixes kernel shapes"
+                )
+            if kernel.nonzero_count > 0xFFFF:
+                raise SerializationError(
+                    f"kernel stream of {kernel.nonzero_count} entries overflows u16"
+                )
+            _write_kernel(stream, kernel)
+
+
+def load_layers(stream: BinaryIO) -> List[EncodedLayer]:
+    """Deserialize encoded layers from a binary stream."""
+    if stream.read(4) != MAGIC:
+        raise SerializationError("bad magic — not an ABM-SpConv model blob")
+    header = stream.read(4)
+    if len(header) != 4:
+        raise SerializationError("truncated file header")
+    version, layer_count = struct.unpack("<HH", header)
+    if version != FORMAT_VERSION:
+        raise SerializationError(f"unsupported format version {version}")
+    layers = []
+    for _ in range(layer_count):
+        raw = stream.read(1)
+        if len(raw) != 1:
+            raise SerializationError("truncated layer header")
+        (name_len,) = struct.unpack("<B", raw)
+        name = stream.read(name_len).decode("utf-8")
+        raw = stream.read(16)
+        if len(raw) != 16:
+            raise SerializationError("truncated layer shape record")
+        n, k, k2, kernels = struct.unpack("<IIII", raw)
+        shape = (n, k, k2)
+        layers.append(
+            EncodedLayer(
+                name=name,
+                kernels=tuple(_read_kernel(stream, shape) for _ in range(kernels)),
+            )
+        )
+    return layers
+
+
+def dumps(layers: Sequence[EncodedLayer]) -> bytes:
+    """Serialize to bytes."""
+    buffer = io.BytesIO()
+    dump_layers(layers, buffer)
+    return buffer.getvalue()
+
+
+def loads(blob: bytes) -> List[EncodedLayer]:
+    """Deserialize from bytes."""
+    return load_layers(io.BytesIO(blob))
+
+
+def save_model(layers: Sequence[EncodedLayer], path: str) -> int:
+    """Write a model blob to disk; returns its size in bytes."""
+    blob = dumps(layers)
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    return len(blob)
+
+
+def load_model(path: str) -> List[EncodedLayer]:
+    """Read a model blob from disk."""
+    with open(path, "rb") as handle:
+        return load_layers(handle)

@@ -1,0 +1,118 @@
+"""Bandwidth Model (paper Section 5.1).
+
+Each layer's input is streamed in ``G_r x G_c`` prefetch windows; the
+feature traffic per image is the sum of the window transfers (halo overlap
+included), the weight traffic is the encoded model re-streamed per window
+and amortized over the minimum batch of ``S_ec`` images, and the output
+traffic is the store of the produced feature map. The required average
+bandwidth at a target frame rate is compared against the device's DDR
+bandwidth to verify the design is compute-bound — the conclusion the paper
+reaches for "most FPGA devices" thanks to the small encoded weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..hw.config import AcceleratorConfig
+from ..hw.device import FPGADevice
+from ..hw.tiling import plan_windows
+from ..hw.workload import LayerWorkload, ModelWorkload
+
+
+@dataclass(frozen=True)
+class LayerTraffic:
+    """Per-image DDR traffic of one layer, in bytes."""
+
+    layer: str
+    feature_in_bytes: int
+    feature_out_bytes: int
+    weight_bytes: float
+    windows: int
+
+    @property
+    def total_bytes(self) -> float:
+        return self.feature_in_bytes + self.feature_out_bytes + self.weight_bytes
+
+
+@dataclass(frozen=True)
+class BandwidthReport:
+    """Whole-model traffic and the compute-bound verdict."""
+
+    model: str
+    layers: Tuple[LayerTraffic, ...]
+    images_per_second: float
+    device_bandwidth_gbs: float
+
+    @property
+    def bytes_per_image(self) -> float:
+        return float(sum(layer.total_bytes for layer in self.layers))
+
+    @property
+    def required_bandwidth_gbs(self) -> float:
+        """Average bandwidth needed to sustain the target frame rate."""
+        return self.bytes_per_image * self.images_per_second / 1e9
+
+    @property
+    def compute_bound(self) -> bool:
+        """True when DDR keeps up with the accelerator (paper's check)."""
+        return self.required_bandwidth_gbs <= self.device_bandwidth_gbs
+
+    @property
+    def bandwidth_headroom(self) -> float:
+        """device / required; > 1 means compute-bound."""
+        required = self.required_bandwidth_gbs
+        if required == 0:
+            return float("inf")
+        return self.device_bandwidth_gbs / required
+
+
+def layer_traffic(
+    workload: LayerWorkload,
+    config: AcceleratorConfig,
+    batch: Optional[int] = None,
+) -> LayerTraffic:
+    """Per-image traffic of one layer under the prefetch-window model.
+
+    ``batch`` overrides the number of images sharing each weight fetch;
+    the default is the paper's minimum batch of ``S_ec`` images.
+    """
+    if batch is None:
+        batch = config.s_ec
+    if batch < 1:
+        raise ValueError("batch must be at least one image")
+    plan = plan_windows(workload.spec, config)
+    # Conv weights are re-streamed for every prefetch window; FC weights are
+    # streamed once per pass. Either way the batch shares each fetch
+    # (paper: "assuming a minimum batch size of S_ec").
+    streams = 1 if workload.spec.is_fc else plan.windows
+    weight_bytes = workload.encoded_bytes * streams / batch
+    return LayerTraffic(
+        layer=workload.spec.name,
+        feature_in_bytes=plan.input_bytes_per_image,
+        feature_out_bytes=plan.output_bytes_per_image,
+        weight_bytes=weight_bytes,
+        windows=plan.windows,
+    )
+
+
+def bandwidth_report(
+    workload: ModelWorkload,
+    config: AcceleratorConfig,
+    device: FPGADevice,
+    images_per_second: float,
+    batch: Optional[int] = None,
+) -> BandwidthReport:
+    """Assemble the Bandwidth Model's verdict for a model/config pair."""
+    if images_per_second <= 0:
+        raise ValueError("frame rate must be positive")
+    layers = tuple(
+        layer_traffic(layer, config, batch=batch) for layer in workload.layers
+    )
+    return BandwidthReport(
+        model=workload.name,
+        layers=layers,
+        images_per_second=images_per_second,
+        device_bandwidth_gbs=device.bandwidth_gbs,
+    )

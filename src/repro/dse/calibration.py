@@ -1,0 +1,147 @@
+"""Design-constant calibration (the fast-compile stage of paper Figure 5).
+
+The paper's flow runs "several rounds of fast compilation of the design
+code (OpenCL kernels)" on the target device, collects the reported logic /
+DSP / memory utilization, and solves for the platform constants C0..C7 of
+the Resource Requirement Model.
+
+Offline we have no Intel OpenCL compiler, so a :class:`SyntheticCompiler`
+plays its role: it reports resources from a hidden ground-truth constant
+set (calibrated against Table 2) plus deterministic pseudo-random
+measurement noise, mimicking the fitter's real input. :func:`fit_constants`
+then recovers a :class:`ResourceModel` by linear least squares — the same
+computation the flow performs — and the test suite checks the recovered
+constants reproduce the ground truth within the noise level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..hw.config import AcceleratorConfig
+from ..hw.device import FPGADevice
+from .resources import ResourceModel
+
+
+@dataclass(frozen=True)
+class CompileSample:
+    """One characterization compile: a configuration and its resource report."""
+
+    config: AcceleratorConfig
+    alms: int
+    dsps: int
+    m20ks: int
+
+
+class SyntheticCompiler:
+    """Stand-in for the FPGA compiler's resource reports.
+
+    Parameters
+    ----------
+    model:
+        Hidden ground-truth constants.
+    noise:
+        Relative 1-sigma measurement noise (placement variability between
+        compiles); 0 gives exact reports.
+    """
+
+    def __init__(
+        self,
+        device: FPGADevice,
+        model: ResourceModel = ResourceModel(),
+        noise: float = 0.02,
+        seed: int = 2019,
+    ) -> None:
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        self.device = device
+        self.model = model
+        self.noise = noise
+        self._rng = np.random.default_rng(seed)
+
+    def compile(self, config: AcceleratorConfig) -> CompileSample:
+        """Report (noisy) resources for one configuration."""
+        estimate = self.model.estimate(config)
+
+        def jitter(value: int) -> int:
+            if self.noise == 0:
+                return value
+            return max(0, int(round(value * (1.0 + self._rng.normal(0, self.noise)))))
+
+        return CompileSample(
+            config=config,
+            alms=jitter(estimate.alms),
+            dsps=estimate.dsps,  # DSP counts are exact (discrete instantiation)
+            m20ks=jitter(estimate.m20ks),
+        )
+
+    def characterize(
+        self, configs: Sequence[AcceleratorConfig]
+    ) -> Tuple[CompileSample, ...]:
+        """Run the whole characterization suite."""
+        return tuple(self.compile(config) for config in configs)
+
+
+def characterization_suite(base: AcceleratorConfig) -> Tuple[AcceleratorConfig, ...]:
+    """A small spread of configurations that makes the fit well-posed.
+
+    Varies each design parameter independently around ``base`` so the
+    least-squares system for C0..C7 has full rank.
+    """
+    configs = [base]
+    for n_cu in (1, 2):
+        configs.append(AcceleratorConfig(n_cu, base.n_knl, base.n_share, base.s_ec))
+    for n_knl in (6, 10, 18):
+        configs.append(AcceleratorConfig(base.n_cu, n_knl, base.n_share, base.s_ec))
+    for s_ec in (8, 14, 26):
+        configs.append(AcceleratorConfig(base.n_cu, base.n_knl, base.n_share, s_ec))
+    for n_share in (2, 8):
+        configs.append(AcceleratorConfig(base.n_cu, base.n_knl, n_share, base.s_ec))
+    return tuple(configs)
+
+
+def fit_constants(samples: Sequence[CompileSample]) -> ResourceModel:
+    """Recover the platform constants from characterization samples.
+
+    Logic and memory fit by linear least squares on their model structure;
+    the DSP constants come from the two-parameter exact system.
+    """
+    if len(samples) < 4:
+        raise ValueError("need at least four samples for a well-posed fit")
+    # Logic: alms = c0 + c1 * (n_knl*s_ec*n_cu) + c2 * (n_knl*n_cu)
+    logic_rows = np.array(
+        [
+            [1.0, s.config.n_knl * s.config.s_ec * s.config.n_cu, s.config.n_knl * s.config.n_cu]
+            for s in samples
+        ]
+    )
+    logic_rhs = np.array([s.alms for s in samples], dtype=np.float64)
+    (c0, c1, c2), *_ = np.linalg.lstsq(logic_rows, logic_rhs, rcond=None)
+    # Memory: m20k = c5 + c6 * (s_ec*n_cu) + c7 * (n_knl*n_cu)
+    mem_rows = np.array(
+        [
+            [1.0, s.config.s_ec * s.config.n_cu, s.config.n_knl * s.config.n_cu]
+            for s in samples
+        ]
+    )
+    mem_rhs = np.array([s.m20ks for s in samples], dtype=np.float64)
+    (c5, c6, c7), *_ = np.linalg.lstsq(mem_rows, mem_rhs, rcond=None)
+    # DSPs: dsps = c3 + c4 * multipliers; exact, so two samples pin it down.
+    dsp_rows = np.array(
+        [[1.0, s.config.multipliers_per_cu * s.config.n_cu] for s in samples]
+    )
+    dsp_rhs = np.array([s.dsps for s in samples], dtype=np.float64)
+    (c3, c4), *_ = np.linalg.lstsq(dsp_rows, dsp_rhs, rcond=None)
+    return ResourceModel(
+        c0=float(c0),
+        c1=float(c1),
+        c2=float(c2),
+        c3=float(c3),
+        c4=float(c4),
+        c5=float(c5),
+        c6=float(c6),
+        c7=float(c7),
+    )

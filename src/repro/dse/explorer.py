@@ -1,0 +1,315 @@
+"""Design space exploration flow (paper Section 5.2, Figures 5-7).
+
+The flow mirrors the paper's stages:
+
+1. **Network analysis** — encode (or synthesize statistics for) the pruned
+   quantized model; derive the buffer depths D_w / D_q from the deepest
+   kernel streams and the sharing factor N from the minimum
+   accumulate/multiply intensity ratio (Table 1's last column).
+2. **N_knl sweep** (Figure 6) — with preset S_ec and N_cu, evaluate the
+   Performance Model across N_knl and maximize the *normalized performance
+   boost*: throughput gain per logic gain, which peaks where the fixed
+   per-accelerator overhead has amortized but quantization/imbalance losses
+   have not yet taken over.
+3. **Characterization** — fast compiles (synthetic here) fit the resource
+   constants C0..C7.
+4. **S_ec x N_cu sweep** (Figure 7) — evaluate attainable throughput over
+   the grid under full DSP/memory utilization constraints and a logic
+   budget (75% in the paper); several near-tied candidates are returned,
+   exactly as the paper carries "several design candidates with close
+   logic utilization ratio" into final implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..hw.config import AcceleratorConfig
+from ..hw.device import FPGADevice
+from ..hw.workload import ModelWorkload
+from .bandwidth import BandwidthReport, bandwidth_report
+from .performance import (
+    MODE_QUANTIZED,
+    ModelPerformance,
+    estimate_model,
+    share_factor_from_workloads,
+)
+from .resources import (
+    DEFAULT_RESOURCE_MODEL,
+    ResourceEstimate,
+    ResourceModel,
+    ResourceUtilization,
+    next_power_of_two,
+)
+
+
+@dataclass(frozen=True)
+class BufferSizing:
+    """Derived on-chip buffer depths (stage 1 of the flow)."""
+
+    d_f: int
+    d_w: int
+    d_q: int
+
+
+def size_buffers(workload: ModelWorkload, s_ec: int) -> BufferSizing:
+    """Derive buffer depths from the encoded model's statistics.
+
+    - D_w covers the deepest single-kernel index stream (power of two);
+    - D_q covers the deepest per-kernel Q-Table with 2x margin for the
+      count-field splits of heavy value groups;
+    - D_f covers the larger of the deepest FC input vector and the
+      steady-state conv prefetch window (in S_ec-wide entries), with an 8%
+      allocation margin, rounded to a multiple of 32.
+    """
+    max_nnz = max(
+        (max((k.nonzeros for k in layer.kernels), default=0) for layer in workload.layers),
+        default=0,
+    )
+    max_distinct = max(
+        (max((k.distinct_values for k in layer.kernels), default=0) for layer in workload.layers),
+        default=0,
+    )
+    entries_needed = 1
+    for layer in workload.layers:
+        spec = layer.spec
+        if spec.is_fc:
+            need = math.ceil(spec.input_size / s_ec)
+        else:
+            # Two output rows of steady-state stripe (double-buffer halves).
+            cols_in = (spec.out_cols - 1) * spec.stride + spec.kernel
+            need = math.ceil(spec.in_channels * 2 * spec.stride * cols_in / s_ec)
+        entries_needed = max(entries_needed, need)
+    d_f = int(math.ceil(entries_needed * 1.08 / 32)) * 32
+    return BufferSizing(
+        d_f=d_f,
+        d_w=next_power_of_two(max_nnz),
+        d_q=next_power_of_two(max(2 * max_distinct, 2)),
+    )
+
+
+@dataclass(frozen=True)
+class NknlPoint:
+    """One point of the Figure 6 sweep."""
+
+    n_knl: int
+    throughput_gops: float
+    logic_alms: int
+    normalized_boost: float
+    feasible: bool
+
+
+def sweep_nknl(
+    workload: ModelWorkload,
+    resources: ResourceModel,
+    n_share: int,
+    device: Optional[FPGADevice] = None,
+    n_cu: int = 3,
+    s_ec: int = 20,
+    freq_mhz: float = 200.0,
+    logic_limit: float = 0.75,
+    n_knl_range: Sequence[int] = tuple(range(2, 25)),
+) -> List[NknlPoint]:
+    """Figure 6: normalized performance boost across N_knl.
+
+    Boost is (throughput gain) / (logic gain), both relative to the first
+    point of the sweep. Points whose DSP/memory/logic demand exceeds the
+    device (when given) are marked infeasible, which is what bounds the
+    sweep from above: at S_ec=20, N=4, N_cu=3 the GXA7's 256 DSPs admit at
+    most N_knl=15.
+    """
+    points = []
+    base_perf: Optional[float] = None
+    base_logic: Optional[float] = None
+    buffers = size_buffers(workload, s_ec)
+    for n_knl in n_knl_range:
+        config = AcceleratorConfig(
+            n_cu=n_cu,
+            n_knl=n_knl,
+            n_share=n_share,
+            s_ec=s_ec,
+            d_f=buffers.d_f,
+            d_w=buffers.d_w,
+            d_q=buffers.d_q,
+            freq_mhz=freq_mhz,
+        )
+        perf = estimate_model(workload, config, mode=MODE_QUANTIZED).throughput_gops
+        estimate = resources.estimate(config)
+        feasible = True
+        if device is not None:
+            feasible = estimate.utilization(device).fits(logic_limit)
+        logic = estimate.alms
+        if base_perf is None:
+            base_perf, base_logic = perf, float(logic)
+        boost = (perf / base_perf) / (logic / base_logic)
+        points.append(
+            NknlPoint(
+                n_knl=n_knl,
+                throughput_gops=perf,
+                logic_alms=logic,
+                normalized_boost=boost,
+                feasible=feasible,
+            )
+        )
+    return points
+
+
+def optimal_nknl(points: Sequence[NknlPoint]) -> int:
+    """The feasible N_knl maximizing normalized boost (paper: 14)."""
+    feasible = [p for p in points if p.feasible]
+    if not feasible:
+        raise ValueError("no feasible point in the N_knl sweep")
+    return max(feasible, key=lambda p: p.normalized_boost).n_knl
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One point of the Figure 7 S_ec x N_cu exploration."""
+
+    config: AcceleratorConfig
+    throughput_gops: float
+    resources: ResourceEstimate
+    utilization: ResourceUtilization
+    feasible: bool
+
+    @property
+    def s_ec(self) -> int:
+        return self.config.s_ec
+
+    @property
+    def n_cu(self) -> int:
+        return self.config.n_cu
+
+
+def sweep_sec_ncu(
+    workload: ModelWorkload,
+    device: FPGADevice,
+    resources: ResourceModel,
+    n_knl: int,
+    n_share: int,
+    freq_mhz: float = 200.0,
+    logic_limit: float = 0.75,
+    s_ec_range: Sequence[int] = tuple(range(4, 33, 2)),
+    n_cu_range: Sequence[int] = tuple(range(1, 7)),
+) -> List[GridPoint]:
+    """Figure 7: attainable throughput across the S_ec x N_cu grid."""
+    grid = []
+    for n_cu in n_cu_range:
+        for s_ec in s_ec_range:
+            buffers = size_buffers(workload, s_ec)
+            config = AcceleratorConfig(
+                n_cu=n_cu,
+                n_knl=n_knl,
+                n_share=n_share,
+                s_ec=s_ec,
+                d_f=buffers.d_f,
+                d_w=buffers.d_w,
+                d_q=buffers.d_q,
+                freq_mhz=freq_mhz,
+            )
+            estimate = resources.estimate(config)
+            utilization = estimate.utilization(device)
+            feasible = utilization.fits(logic_limit)
+            perf = estimate_model(workload, config, mode=MODE_QUANTIZED)
+            grid.append(
+                GridPoint(
+                    config=config,
+                    throughput_gops=perf.throughput_gops,
+                    resources=estimate,
+                    utilization=utilization,
+                    feasible=feasible,
+                )
+            )
+    return grid
+
+
+def best_candidates(grid: Sequence[GridPoint], count: int = 5) -> List[GridPoint]:
+    """Top feasible grid points by throughput (the paper's candidate set)."""
+    feasible = [point for point in grid if point.feasible]
+    return sorted(feasible, key=lambda p: -p.throughput_gops)[:count]
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """Outcome of the complete flow for one model on one device."""
+
+    model: str
+    device: FPGADevice
+    n_share: int
+    buffers: BufferSizing
+    nknl_sweep: Tuple[NknlPoint, ...]
+    chosen_n_knl: int
+    grid: Tuple[GridPoint, ...]
+    candidates: Tuple[GridPoint, ...]
+    chosen: AcceleratorConfig
+    performance: ModelPerformance
+    bandwidth: BandwidthReport
+
+
+def explore(
+    workload: ModelWorkload,
+    device: FPGADevice,
+    resources: ResourceModel = DEFAULT_RESOURCE_MODEL,
+    freq_mhz: float = 200.0,
+    logic_limit: float = 0.75,
+    preset_n_cu: int = 3,
+    preset_s_ec: int = 20,
+) -> ExplorationResult:
+    """Run the full exploration flow of Figure 5."""
+    n_share = share_factor_from_workloads(workload.layers)
+    nknl_points = sweep_nknl(
+        workload,
+        resources,
+        n_share,
+        device=device,
+        n_cu=preset_n_cu,
+        s_ec=preset_s_ec,
+        freq_mhz=freq_mhz,
+        logic_limit=logic_limit,
+    )
+    n_knl = optimal_nknl(nknl_points)
+    grid = sweep_sec_ncu(
+        workload,
+        device,
+        resources,
+        n_knl=n_knl,
+        n_share=n_share,
+        freq_mhz=freq_mhz,
+        logic_limit=logic_limit,
+    )
+    candidates = best_candidates(grid)
+    if not candidates:
+        raise RuntimeError(
+            f"no feasible configuration for {workload.name!r} on {device.name}"
+        )
+    best = candidates[0].config
+    buffers = size_buffers(workload, best.s_ec)
+    chosen = AcceleratorConfig(
+        n_cu=best.n_cu,
+        n_knl=n_knl,
+        n_share=n_share,
+        s_ec=best.s_ec,
+        d_f=buffers.d_f,
+        d_w=buffers.d_w,
+        d_q=buffers.d_q,
+        freq_mhz=freq_mhz,
+    )
+    performance = estimate_model(workload, chosen, mode=MODE_QUANTIZED)
+    bandwidth = bandwidth_report(
+        workload, chosen, device, performance.images_per_second
+    )
+    return ExplorationResult(
+        model=workload.name,
+        device=device,
+        n_share=n_share,
+        buffers=buffers,
+        nknl_sweep=tuple(nknl_points),
+        chosen_n_knl=n_knl,
+        grid=tuple(grid),
+        candidates=tuple(candidates),
+        chosen=chosen,
+        performance=performance,
+        bandwidth=bandwidth,
+    )

@@ -1,0 +1,176 @@
+"""Joint exploration across several workloads.
+
+The paper ships one bitstream per model (Table 3: AlexNet and VGG16 get
+separate configurations differing only in buffer depths and achieved
+clock). A deployment that must serve *both* without reconfiguration wants
+a single design point that is good everywhere — the natural objective is
+the worst-case normalized throughput across workloads (max-min fairness
+against each workload's own best).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..hw.config import AcceleratorConfig
+from ..hw.device import FPGADevice
+from ..hw.workload import ModelWorkload
+from .explorer import GridPoint, size_buffers, sweep_sec_ncu
+from .performance import MODE_QUANTIZED, estimate_model, share_factor_from_workloads
+from .resources import DEFAULT_RESOURCE_MODEL, ResourceModel
+
+
+@dataclass(frozen=True)
+class JointPoint:
+    """One configuration evaluated against every workload."""
+
+    config: AcceleratorConfig
+    throughput: Mapping[str, float]
+    normalized: Mapping[str, float]
+    feasible: bool
+
+    @property
+    def worst_normalized(self) -> float:
+        """Max-min objective: the worst workload's fraction of its best."""
+        return min(self.normalized.values())
+
+
+@dataclass(frozen=True)
+class JointExplorationResult:
+    device: FPGADevice
+    models: Tuple[str, ...]
+    best_single: Mapping[str, float]
+    chosen: JointPoint
+    candidates: Tuple[JointPoint, ...]
+
+    def render(self) -> str:
+        lines = [
+            f"joint exploration on {self.device.name} for {', '.join(self.models)}",
+            f"chosen: {self.chosen.config.describe()}",
+        ]
+        for model in self.models:
+            lines.append(
+                f"  {model:<10} {self.chosen.throughput[model]:7.1f} GOP/s "
+                f"({self.chosen.normalized[model]:.1%} of its solo best "
+                f"{self.best_single[model]:.1f})"
+            )
+        return "\n".join(lines)
+
+
+def explore_joint(
+    workloads: Sequence[ModelWorkload],
+    device: FPGADevice,
+    resources: ResourceModel = DEFAULT_RESOURCE_MODEL,
+    n_knl: int = 14,
+    freq_mhz: float = 200.0,
+    logic_limit: float = 0.75,
+    candidates: int = 5,
+) -> JointExplorationResult:
+    """Pick one configuration serving every workload (max-min normalized).
+
+    The sharing factor N is set by the most multiply-intensive workload
+    (smallest intensity ratio), since an under-provisioned multiplier
+    array hurts everyone.
+    """
+    if not workloads:
+        raise ValueError("need at least one workload")
+    # The joint N must fit the smallest intensity ratio across *all*
+    # workloads — the most multiply-intensive model dictates the
+    # multiplier provisioning.
+    n_share = min(
+        share_factor_from_workloads(workload.layers) for workload in workloads
+    )
+    # Per-model grids share the (s_ec, n_cu) axes; collect feasible points
+    # present for every model (buffer depths differ per model, so evaluate
+    # each config against each workload with its own buffer sizing).
+    per_model_grid: Dict[str, Dict[Tuple[int, int], GridPoint]] = {}
+    for workload in workloads:
+        grid = sweep_sec_ncu(
+            workload,
+            device,
+            resources,
+            n_knl=n_knl,
+            n_share=n_share,
+            freq_mhz=freq_mhz,
+            logic_limit=logic_limit,
+        )
+        per_model_grid[workload.name] = {
+            (point.s_ec, point.n_cu): point for point in grid
+        }
+    models = tuple(workload.name for workload in workloads)
+    best_single = {
+        name: max(
+            (p.throughput_gops for p in grid.values() if p.feasible), default=0.0
+        )
+        for name, grid in per_model_grid.items()
+    }
+    joint: List[JointPoint] = []
+    first_grid = per_model_grid[models[0]]
+    for key, first_point in first_grid.items():
+        throughput = {}
+        feasible = True
+        for name in models:
+            point = per_model_grid[name].get(key)
+            if point is None:
+                feasible = False
+                break
+            throughput[name] = point.throughput_gops
+            feasible = feasible and point.feasible
+        if len(throughput) != len(models):
+            continue
+        normalized = {
+            name: (throughput[name] / best_single[name] if best_single[name] else 0.0)
+            for name in models
+        }
+        joint.append(
+            JointPoint(
+                config=first_point.config,
+                throughput=throughput,
+                normalized=normalized,
+                feasible=feasible,
+            )
+        )
+    feasible_points = [point for point in joint if point.feasible]
+    if not feasible_points:
+        raise RuntimeError("no jointly feasible configuration")
+    ranked = sorted(feasible_points, key=lambda p: -p.worst_normalized)
+    chosen = ranked[0]
+    # Re-derive buffer depths covering every workload at the chosen S_ec.
+    d_f = d_w = d_q = 1
+    for workload in workloads:
+        buffers = size_buffers(workload, chosen.config.s_ec)
+        d_f, d_w, d_q = max(d_f, buffers.d_f), max(d_w, buffers.d_w), max(d_q, buffers.d_q)
+    final_config = AcceleratorConfig(
+        n_cu=chosen.config.n_cu,
+        n_knl=n_knl,
+        n_share=n_share,
+        s_ec=chosen.config.s_ec,
+        d_f=d_f,
+        d_w=d_w,
+        d_q=d_q,
+        freq_mhz=freq_mhz,
+    )
+    throughput = {
+        workload.name: estimate_model(
+            workload, final_config, mode=MODE_QUANTIZED
+        ).throughput_gops
+        for workload in workloads
+    }
+    normalized = {
+        name: throughput[name] / best_single[name] if best_single[name] else 0.0
+        for name in models
+    }
+    chosen = JointPoint(
+        config=final_config,
+        throughput=throughput,
+        normalized=normalized,
+        feasible=True,
+    )
+    return JointExplorationResult(
+        device=device,
+        models=models,
+        best_single=best_single,
+        chosen=chosen,
+        candidates=tuple(ranked[:candidates]),
+    )

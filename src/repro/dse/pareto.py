@@ -1,0 +1,69 @@
+"""Pareto analysis of the exploration grid.
+
+The Figure 7 sweep picks one winner, but a practitioner porting the
+design to another device (or leaving headroom for other logic on the
+FPGA) wants the whole throughput-vs-resources frontier. A grid point is
+Pareto-optimal when no other feasible point delivers more throughput with
+no more of *any* resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .explorer import GridPoint
+
+
+def _dominates(a: GridPoint, b: GridPoint) -> bool:
+    """True when a is at least as good as b everywhere and better somewhere."""
+    no_worse = (
+        a.throughput_gops >= b.throughput_gops
+        and a.resources.alms <= b.resources.alms
+        and a.resources.dsps <= b.resources.dsps
+        and a.resources.m20ks <= b.resources.m20ks
+    )
+    strictly_better = (
+        a.throughput_gops > b.throughput_gops
+        or a.resources.alms < b.resources.alms
+        or a.resources.dsps < b.resources.dsps
+        or a.resources.m20ks < b.resources.m20ks
+    )
+    return no_worse and strictly_better
+
+
+def pareto_frontier(grid: Sequence[GridPoint]) -> List[GridPoint]:
+    """Feasible, non-dominated points, sorted by throughput descending."""
+    feasible = [point for point in grid if point.feasible]
+    frontier = [
+        point
+        for point in feasible
+        if not any(_dominates(other, point) for other in feasible)
+    ]
+    return sorted(frontier, key=lambda p: -p.throughput_gops)
+
+
+@dataclass(frozen=True)
+class FrontierSummary:
+    """Compact description of the frontier for reports."""
+
+    points: Sequence[GridPoint]
+
+    @property
+    def knee(self) -> GridPoint:
+        """The point with the best throughput per ALM (the 'knee' pick)."""
+        if not self.points:
+            raise ValueError("empty frontier")
+        return max(self.points, key=lambda p: p.throughput_gops / p.resources.alms)
+
+    def render(self) -> str:
+        lines = [
+            f"{'S_ec':>4} {'N_cu':>4} {'GOP/s':>8} {'ALMs':>8} {'DSPs':>5} {'M20K':>5}"
+        ]
+        for point in self.points:
+            lines.append(
+                f"{point.s_ec:>4} {point.n_cu:>4} {point.throughput_gops:>8.1f} "
+                f"{point.resources.alms:>8} {point.resources.dsps:>5} "
+                f"{point.resources.m20ks:>5}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Sensitivity of the exploration outcome to the platform constants.
+
+The C0..C7 constants come from fitting a handful of characterization
+compiles (plus measurement noise), so a natural question about the flow of
+Figure 5 is how robust its *decision* is to calibration error. This module
+perturbs each constant by ±X% and re-runs the S_ec x N_cu exploration,
+recording how the best candidate and its throughput move — a tornado
+analysis over the Resource Requirement Model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from ..hw.device import FPGADevice
+from ..hw.workload import ModelWorkload
+from .explorer import best_candidates, sweep_sec_ncu
+from .resources import DEFAULT_RESOURCE_MODEL, ResourceModel
+
+#: The constants the analysis perturbs.
+CONSTANT_NAMES = ("c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7")
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """Exploration outcome under one constant's low/high perturbation."""
+
+    constant: str
+    low_gops: float
+    high_gops: float
+    low_choice: Tuple[int, int]  # (s_ec, n_cu)
+    high_choice: Tuple[int, int]
+
+    @property
+    def swing_gops(self) -> float:
+        """Throughput swing across the perturbation band."""
+        return abs(self.high_gops - self.low_gops)
+
+    @property
+    def decision_stable(self) -> bool:
+        """True when both perturbations pick the same design point."""
+        return self.low_choice == self.high_choice
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    baseline_gops: float
+    baseline_choice: Tuple[int, int]
+    entries: Tuple[SensitivityEntry, ...]
+
+    def ranked(self) -> List[SensitivityEntry]:
+        """Entries sorted by throughput swing, largest first (tornado)."""
+        return sorted(self.entries, key=lambda e: -e.swing_gops)
+
+    def render(self) -> str:
+        lines = [
+            "resource-constant sensitivity (±20% tornado)",
+            f"baseline: {self.baseline_gops:.1f} GOP/s at "
+            f"S_ec={self.baseline_choice[0]}, N_cu={self.baseline_choice[1]}",
+            f"{'constant':<9} {'low GOP/s':>10} {'high GOP/s':>11} "
+            f"{'swing':>7} {'stable choice':>14}",
+        ]
+        for entry in self.ranked():
+            lines.append(
+                f"{entry.constant:<9} {entry.low_gops:>10.1f} "
+                f"{entry.high_gops:>11.1f} {entry.swing_gops:>7.1f} "
+                f"{'yes' if entry.decision_stable else 'no':>14}"
+            )
+        return "\n".join(lines)
+
+
+def _best(workload: ModelWorkload, device: FPGADevice, model: ResourceModel):
+    grid = sweep_sec_ncu(workload, device, model, n_knl=14, n_share=4)
+    candidates = best_candidates(grid, count=1)
+    if not candidates:
+        return 0.0, (0, 0)
+    best = candidates[0]
+    return best.throughput_gops, (best.s_ec, best.n_cu)
+
+
+def resource_sensitivity(
+    workload: ModelWorkload,
+    device: FPGADevice,
+    perturbation: float = 0.2,
+    base: ResourceModel = DEFAULT_RESOURCE_MODEL,
+) -> SensitivityResult:
+    """Tornado analysis: perturb each constant by ±perturbation."""
+    if not 0.0 < perturbation < 1.0:
+        raise ValueError("perturbation must be a fraction in (0, 1)")
+    baseline_gops, baseline_choice = _best(workload, device, base)
+    entries = []
+    for name in CONSTANT_NAMES:
+        value = getattr(base, name)
+        low_model = replace(base, **{name: value * (1 - perturbation)})
+        high_model = replace(base, **{name: value * (1 + perturbation)})
+        low_gops, low_choice = _best(workload, device, low_model)
+        high_gops, high_choice = _best(workload, device, high_model)
+        entries.append(
+            SensitivityEntry(
+                constant=name,
+                low_gops=low_gops,
+                high_gops=high_gops,
+                low_choice=low_choice,
+                high_choice=high_choice,
+            )
+        )
+    return SensitivityResult(
+        baseline_gops=baseline_gops,
+        baseline_choice=baseline_choice,
+        entries=tuple(entries),
+    )

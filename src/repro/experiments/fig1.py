@@ -1,0 +1,52 @@
+"""Experiment: paper Figure 1 — roofline comparison of the design spaces.
+
+Regenerates the three computational roofs on the Stratix-V GXA7 at 200 MHz
+(SDConv 204.8, FDConv 675, ABM-SpConv 1046 GOP/s) and places the achieved
+designs — [3]'s 669.1 GOP/s and the proposed accelerator's simulated
+throughput — under them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..analysis.compare import Comparison
+from ..baselines.published import get_baseline
+from ..core.schemes import ConvScheme
+from ..dse.roofline import DesignPoint, RooflineModel
+from ..hw.accelerator import AcceleratorSimulator
+from ..hw.config import PAPER_CONFIG_VGG16
+from ..hw.device import STRATIX_V_GXA7
+from ..workloads.paper_targets import FIG1_ROOFS
+from ..workloads.synthetic import synthetic_model_workload
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    roofline: RooflineModel
+    points: Tuple[DesignPoint, ...]
+    comparisons: Tuple[Comparison, ...]
+
+    def render(self) -> str:
+        return self.roofline.render(self.points)
+
+
+def run(seed: int = 1) -> Fig1Result:
+    """Regenerate Figure 1's roofs and design points."""
+    roofline = RooflineModel(STRATIX_V_GXA7, freq_mhz=200.0)
+    roofs = {roof.scheme: roof for roof in roofline.roofs()}
+    workload = synthetic_model_workload("vgg16", seed=seed)
+    simulated = AcceleratorSimulator(PAPER_CONFIG_VGG16, STRATIX_V_GXA7).simulate(
+        workload
+    )
+    points = (
+        DesignPoint("Zeng FDConv [3] (VGG16)", ConvScheme.FDCONV, get_baseline("zeng-vgg16").throughput_gops),
+        DesignPoint("ABM-SpConv (simulated)", ConvScheme.ABM_SPCONV, simulated.throughput_gops),
+    )
+    comparisons: List[Comparison] = [
+        Comparison("fig1", "sdconv_roof_gops", FIG1_ROOFS["sdconv"], roofs[ConvScheme.SDCONV].gops),
+        Comparison("fig1", "fdconv_roof_gops", FIG1_ROOFS["fdconv"], roofs[ConvScheme.FDCONV].gops),
+        Comparison("fig1", "abm_roof_gops", FIG1_ROOFS["abm"], roofs[ConvScheme.ABM_SPCONV].gops),
+    ]
+    return Fig1Result(roofline=roofline, points=points, comparisons=tuple(comparisons))

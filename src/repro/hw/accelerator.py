@@ -1,0 +1,155 @@
+"""Top-level accelerator simulator facade.
+
+Runs a whole :class:`~repro.hw.workload.ModelWorkload` through the
+layer-level event simulation and aggregates the figures the paper reports:
+inference time, throughput in GOP/s (normalized, as in the paper, to the
+*original dense* op count of the model), performance density per DSP, CU
+utilization and the external-bandwidth picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .config import AcceleratorConfig
+from .device import FPGADevice
+from .memory import ExternalMemory
+from .scheduler import POLICY_BALANCED, LayerSimResult, simulate_layer
+from .workload import ModelWorkload
+
+
+@dataclass(frozen=True)
+class ModelSimResult:
+    """Aggregated simulation outcome for one model on one configuration."""
+
+    model: str
+    config: AcceleratorConfig
+    layers: Tuple[LayerSimResult, ...]
+    dense_ops: int
+
+    @property
+    def cycles_per_image(self) -> float:
+        return float(sum(layer.cycles_per_image for layer in self.layers))
+
+    @property
+    def seconds_per_image(self) -> float:
+        return self.cycles_per_image / (self.config.freq_mhz * 1e6)
+
+    @property
+    def images_per_second(self) -> float:
+        return 1.0 / self.seconds_per_image
+
+    @property
+    def throughput_gops(self) -> float:
+        """GOP/s on the paper's basis: dense #OP / average inference time."""
+        return self.dense_ops / self.seconds_per_image / 1e9
+
+    @property
+    def effective_gops(self) -> float:
+        """GOP/s counted on the operations actually executed (acc + mult)."""
+        executed = sum(
+            (layer.accumulate_ops + layer.multiply_ops) / layer.images
+            for layer in self.layers
+        )
+        return executed / self.seconds_per_image / 1e9
+
+    @property
+    def cu_utilization(self) -> float:
+        """Compute-time-weighted mean CU busy fraction (paper's efficiency)."""
+        total_compute = sum(layer.compute_cycles for layer in self.layers)
+        if total_compute == 0:
+            return 0.0
+        weighted = sum(
+            layer.cu_utilization * layer.compute_cycles for layer in self.layers
+        )
+        return weighted / total_compute
+
+    @property
+    def engine_utilization(self) -> float:
+        """Within-task engine busy fraction across the run."""
+        capacity = sum(layer.engine_capacity_cycles for layer in self.layers)
+        if capacity == 0:
+            return 0.0
+        busy = sum(layer.engine_busy_cycles for layer in self.layers)
+        return busy / capacity
+
+    @property
+    def memory_stall_fraction(self) -> float:
+        cycles = sum(layer.cycles for layer in self.layers)
+        if cycles == 0:
+            return 0.0
+        return sum(layer.memory_stall_cycles for layer in self.layers) / cycles
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        """Average external bandwidth over the inference."""
+        bytes_per_image = sum(
+            layer.memory_bytes / layer.images for layer in self.layers
+        )
+        return bytes_per_image / self.seconds_per_image / 1e9
+
+    def perf_density(self, dsps_used: int) -> float:
+        """GOP/s per DSP — Table 2's cross-device comparison metric."""
+        if dsps_used < 1:
+            raise ValueError("DSP count must be positive")
+        return self.throughput_gops / dsps_used
+
+    def layer_result(self, name: str) -> LayerSimResult:
+        for layer in self.layers:
+            if layer.layer == name:
+                return layer
+        raise KeyError(f"no layer named {name!r} in simulation of {self.model!r}")
+
+
+class AcceleratorSimulator:
+    """Simulates the ABM-SpConv accelerator on model workloads."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        device: Optional[FPGADevice] = None,
+        policy: str = POLICY_BALANCED,
+    ) -> None:
+        self.config = config
+        self.device = device
+        self.policy = policy
+
+    def _memory(self) -> ExternalMemory:
+        bandwidth = self.device.bandwidth_gbs if self.device else 12.8
+        return ExternalMemory(bandwidth_gbs=bandwidth, freq_mhz=self.config.freq_mhz)
+
+    def simulate(self, workload: ModelWorkload) -> ModelSimResult:
+        """Run every layer and aggregate."""
+        memory = self._memory()
+        results = tuple(
+            simulate_layer(layer, self.config, memory, policy=self.policy)
+            for layer in workload.layers
+        )
+        return ModelSimResult(
+            model=workload.name,
+            config=self.config,
+            layers=results,
+            dense_ops=workload.dense_ops,
+        )
+
+    def utilization_summary(self, result: ModelSimResult) -> str:
+        """Human-readable per-layer utilization table."""
+        lines = [
+            f"{'layer':<12} {'cycles':>12} {'CU util':>8} {'engine':>8} "
+            f"{'mem stall':>10}"
+        ]
+        for layer in result.layers:
+            lines.append(
+                f"{layer.layer:<12} {layer.cycles:>12,} "
+                f"{layer.cu_utilization:>7.1%} {layer.engine_utilization:>7.1%} "
+                f"{layer.memory_stall_cycles / max(layer.cycles, 1):>9.1%}"
+            )
+        lines.append(
+            f"{'total':<12} {int(np.ceil(result.cycles_per_image)):>12,} "
+            f"{result.cu_utilization:>7.1%} {result.engine_utilization:>7.1%} "
+            f"{result.memory_stall_fraction:>9.1%}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Fault injection on encoded weight streams.
+
+The encoded model travels over DDR into on-chip buffers; this module
+injects the classic transport faults — bit flips in the 16-bit index
+entries, bit flips in Q-Table VAL bytes, and truncation — so the test
+suite can characterize the decoder's behaviour under corruption:
+
+- structural faults (counts no longer matching the stream) must be
+  *detected*, never silently decoded;
+- value faults decode "successfully" but perturb the output, and the
+  blast radius is measurable (a single VAL flip corrupts every output
+  pixel of one kernel; a single index flip moves one accumulate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.encoding import EncodedKernel, EncodedLayer, MAX_PACKED_INDEX, QTableEntry
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """What was corrupted."""
+
+    kind: str
+    kernel_index: int
+    position: int
+    bit: int
+
+
+def flip_index_bit(
+    layer: EncodedLayer,
+    kernel_index: int,
+    entry_index: int,
+    bit: int,
+    clamp_to_kernel: bool = True,
+) -> EncodedLayer:
+    """Flip one bit of one WT-Buffer index entry.
+
+    With ``clamp_to_kernel`` the flipped index wraps into the kernel's
+    valid range (an in-range wrong read — silent data corruption); without
+    it the raw flipped value is kept, possibly out of range.
+    """
+    if not 0 <= bit < 16:
+        raise ValueError("index entries are 16 bits wide")
+    kernel = layer.kernels[kernel_index]
+    if not 0 <= entry_index < kernel.indices.size:
+        raise ValueError("entry index out of range")
+    indices = kernel.indices.copy()
+    flipped = int(indices[entry_index]) ^ (1 << bit)
+    size = int(np.prod(kernel.kernel_shape))
+    if clamp_to_kernel:
+        flipped %= size
+    if flipped > MAX_PACKED_INDEX:
+        raise ValueError("flip escapes the 16-bit index width")
+    indices[entry_index] = flipped
+    kernels = list(layer.kernels)
+    kernels[kernel_index] = EncodedKernel(
+        qtable=kernel.qtable, indices=indices, kernel_shape=kernel.kernel_shape
+    )
+    return EncodedLayer(name=layer.name, kernels=tuple(kernels))
+
+
+def flip_value_bit(
+    layer: EncodedLayer, kernel_index: int, entry_index: int, bit: int
+) -> EncodedLayer:
+    """Flip one bit of one Q-Table VAL byte (8-bit two's complement)."""
+    if not 0 <= bit < 8:
+        raise ValueError("VAL fields are 8 bits wide")
+    kernel = layer.kernels[kernel_index]
+    if not 0 <= entry_index < len(kernel.qtable):
+        raise ValueError("Q-Table entry out of range")
+    entry = kernel.qtable[entry_index]
+    raw = entry.value & 0xFF
+    flipped = raw ^ (1 << bit)
+    value = flipped - 256 if flipped >= 128 else flipped
+    if value == 0:
+        # A zero VAL is not encodable; flip lands on the adjacent code,
+        # which is what a hardware decoder treating 0 as 1 LSB would see.
+        value = 1
+    qtable = list(kernel.qtable)
+    qtable[entry_index] = QTableEntry(value=value, count=entry.count)
+    kernels = list(layer.kernels)
+    kernels[kernel_index] = EncodedKernel(
+        qtable=tuple(qtable), indices=kernel.indices, kernel_shape=kernel.kernel_shape
+    )
+    return EncodedLayer(name=layer.name, kernels=tuple(kernels))
+
+
+def truncate_stream(
+    layer: EncodedLayer, kernel_index: int, drop_entries: int
+) -> EncodedLayer:
+    """Drop the tail of a kernel's index stream *without* fixing its
+    Q-Table counts — the structural corruption a decoder must detect."""
+    kernel = layer.kernels[kernel_index]
+    if not 1 <= drop_entries <= kernel.indices.size:
+        raise ValueError("invalid truncation length")
+    kernels = list(layer.kernels)
+    # Constructing the inconsistent kernel must fail loudly: counts and
+    # stream length no longer agree. We surface that as the detection.
+    try:
+        kernels[kernel_index] = EncodedKernel(
+            qtable=kernel.qtable,
+            indices=kernel.indices[: kernel.indices.size - drop_entries],
+            kernel_shape=kernel.kernel_shape,
+        )
+    except ValueError as exc:
+        raise CorruptionDetected(str(exc)) from exc
+    return EncodedLayer(name=layer.name, kernels=tuple(kernels))
+
+
+class CorruptionDetected(RuntimeError):
+    """The decoder noticed a structurally-invalid encoded stream."""
+
+
+def random_fault(
+    layer: EncodedLayer, rng: np.random.Generator, kind: Optional[str] = None
+) -> tuple:
+    """Inject one random fault; returns (corrupted_layer, FaultReport)."""
+    kinds = ("index", "value")
+    chosen = kind or kinds[int(rng.integers(len(kinds)))]
+    candidates = [
+        i for i, kernel in enumerate(layer.kernels) if kernel.nonzero_count > 0
+    ]
+    if not candidates:
+        raise ValueError("layer has no nonzero kernels to corrupt")
+    kernel_index = int(rng.choice(candidates))
+    kernel = layer.kernels[kernel_index]
+    if chosen == "index":
+        position = int(rng.integers(kernel.indices.size))
+        bit = int(rng.integers(16))
+        corrupted = flip_index_bit(layer, kernel_index, position, bit)
+    elif chosen == "value":
+        position = int(rng.integers(len(kernel.qtable)))
+        bit = int(rng.integers(8))
+        corrupted = flip_value_bit(layer, kernel_index, position, bit)
+    else:
+        raise ValueError(f"unknown fault kind {chosen!r}")
+    return corrupted, FaultReport(
+        kind=chosen, kernel_index=kernel_index, position=position, bit=bit
+    )

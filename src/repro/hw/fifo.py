@@ -1,0 +1,76 @@
+"""Partial-sum FIFO model.
+
+In the CU datapath (paper Figure 2-b) every accumulator group deposits its
+partial sums into a FIFO from which the shared multiplier drains them in
+round-robin order. The FIFO decouples the two stages; with a proper depth
+the two-stage convolution pipeline never stalls (Section 4.2). This model
+tracks occupancy, push/pop counts and stall events so tests can verify the
+depth chosen by the DSE flow actually avoids back-pressure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional, Tuple
+
+
+class FifoOverflow(RuntimeError):
+    """Raised when a push would exceed the FIFO's physical depth."""
+
+
+class FifoUnderflow(RuntimeError):
+    """Raised when a pop is attempted on an empty FIFO."""
+
+
+@dataclass
+class Fifo:
+    """A bounded FIFO of (tag, value) tokens with stall accounting."""
+
+    depth: int
+    _queue: Deque[Tuple[int, int]] = field(default_factory=deque)
+    pushes: int = 0
+    pops: int = 0
+    push_stalls: int = 0
+    max_occupancy: int = 0
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError(f"FIFO depth must be >= 1, got {self.depth}")
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def try_push(self, tag: int, value: int) -> bool:
+        """Push a token; returns False (and counts a stall) when full."""
+        if self.full:
+            self.push_stalls += 1
+            return False
+        self._queue.append((tag, value))
+        self.pushes += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._queue))
+        return True
+
+    def push(self, tag: int, value: int) -> None:
+        """Push a token; raises :class:`FifoOverflow` when full."""
+        if not self.try_push(tag, value):
+            raise FifoOverflow(f"push into full FIFO of depth {self.depth}")
+
+    def pop(self) -> Tuple[int, int]:
+        """Pop the oldest token; raises :class:`FifoUnderflow` when empty."""
+        if self.empty:
+            raise FifoUnderflow("pop from empty FIFO")
+        self.pops += 1
+        return self._queue.popleft()
+
+    def peek(self) -> Optional[Tuple[int, int]]:
+        """Oldest token without removing it, or None when empty."""
+        return self._queue[0] if self._queue else None

@@ -1,0 +1,120 @@
+"""MAC-array baseline accelerator model (the SDConv designs of Section 1).
+
+Conventional FPGA CNN accelerators [4, 12, 13] instantiate an array of
+DSP-based multiplier-accumulators and stream the dense convolution through
+it. Their computational roof is ``2 * N_mac * Freq``; real designs land
+below it because of array-geometry quantization losses (a layer whose
+dimensions don't divide the array leaves lanes idle). This model captures
+both effects so Figure 1's design-space comparison and the ablation benches
+have an executable SDConv reference rather than a literature constant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..core.specs import LayerSpec
+from .device import FPGADevice
+
+
+@dataclass(frozen=True)
+class MacArrayConfig:
+    """A MAC-array accelerator: an array of rows x cols MAC units."""
+
+    rows: int  # output-channel parallelism
+    cols: int  # pixel parallelism
+    freq_mhz: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("array dimensions must be positive")
+        if self.freq_mhz <= 0:
+            raise ValueError("frequency must be positive")
+
+    @property
+    def mac_units(self) -> int:
+        return self.rows * self.cols
+
+
+def mac_array_for_device(device: FPGADevice, freq_mhz: float = 200.0) -> MacArrayConfig:
+    """Largest near-square MAC array the device's DSPs support."""
+    units = device.mac_count
+    rows = int(math.sqrt(units))
+    while units % rows:
+        rows -= 1
+    return MacArrayConfig(rows=rows, cols=units // rows, freq_mhz=freq_mhz)
+
+
+@dataclass(frozen=True)
+class MacArrayLayerResult:
+    """Cycle estimate for one layer on the MAC array."""
+
+    layer: str
+    cycles: int
+    macs: int
+    mac_units: int
+
+    @property
+    def utilization(self) -> float:
+        """Useful MACs over array capacity during the layer."""
+        capacity = self.cycles * self.mac_units
+        return 0.0 if capacity == 0 else min(1.0, self.macs / capacity)
+
+
+def simulate_mac_layer(
+    spec: LayerSpec, config: MacArrayConfig
+) -> MacArrayLayerResult:
+    """Dense spatial convolution on the array.
+
+    Output channels map to array rows and output pixels to columns; the
+    reduction (N/g * K * K) streams temporally. Ceiling effects on both
+    axes model the quantization loss.
+    """
+    row_waves = math.ceil(spec.out_channels / config.rows)
+    col_waves = math.ceil(spec.output_pixels / config.cols)
+    cycles = row_waves * col_waves * spec.weights_per_kernel
+    return MacArrayLayerResult(
+        layer=spec.name,
+        cycles=cycles,
+        macs=spec.macs,
+        mac_units=config.mac_units,
+    )
+
+
+@dataclass(frozen=True)
+class MacArrayModelResult:
+    """Whole-model MAC-array estimate."""
+
+    layers: Tuple[MacArrayLayerResult, ...]
+    config: MacArrayConfig
+    dense_ops: int
+
+    @property
+    def cycles(self) -> int:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def seconds_per_image(self) -> float:
+        return self.cycles / (self.config.freq_mhz * 1e6)
+
+    @property
+    def throughput_gops(self) -> float:
+        return self.dense_ops / self.seconds_per_image / 1e9
+
+    @property
+    def array_utilization(self) -> float:
+        """Achieved MAC rate over the array's peak."""
+        peak = self.config.mac_units * self.cycles
+        total_macs = sum(layer.macs for layer in self.layers)
+        return 0.0 if peak == 0 else min(1.0, total_macs / peak)
+
+
+def simulate_mac_model(
+    specs: Sequence[LayerSpec], config: MacArrayConfig
+) -> MacArrayModelResult:
+    """Run every layer through the MAC-array model."""
+    layers = tuple(simulate_mac_layer(spec, config) for spec in specs)
+    dense_ops = sum(spec.dense_ops for spec in specs)
+    return MacArrayModelResult(layers=layers, config=config, dense_ops=dense_ops)

@@ -1,0 +1,62 @@
+"""External (DDR) memory model.
+
+The DE5-Net provides 12.8 GB/s of DDR3 bandwidth. The fetch/store unit
+double-buffers prefetch windows, so memory transfers overlap compute; a
+layer only becomes memory-bound when a window's transfer outlasts its
+computation. The model charges a fixed per-burst latency plus a
+bandwidth-proportional term and keeps running totals for the bandwidth
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Fixed cycles charged per transfer burst (command + row activation).
+BURST_LATENCY_CYCLES = 64
+
+
+@dataclass
+class ExternalMemory:
+    """DDR interface shared by all CUs."""
+
+    bandwidth_gbs: float
+    freq_mhz: float
+    total_bytes: int = 0
+    total_transfer_cycles: int = 0
+    transfers: int = 0
+    _bytes_per_cycle: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0 or self.freq_mhz <= 0:
+            raise ValueError("bandwidth and frequency must be positive")
+        self._bytes_per_cycle = (self.bandwidth_gbs * 1e9) / (self.freq_mhz * 1e6)
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Bytes the DDR delivers per accelerator clock cycle."""
+        return self._bytes_per_cycle
+
+    def transfer_cycles(self, nbytes: int) -> int:
+        """Cycles to move ``nbytes`` (without recording the transfer)."""
+        if nbytes < 0:
+            raise ValueError("transfer size cannot be negative")
+        if nbytes == 0:
+            return 0
+        return BURST_LATENCY_CYCLES + int(round(nbytes / self._bytes_per_cycle))
+
+    def record(self, nbytes: int) -> int:
+        """Account a transfer and return its duration in cycles."""
+        cycles = self.transfer_cycles(nbytes)
+        if nbytes > 0:
+            self.total_bytes += nbytes
+            self.total_transfer_cycles += cycles
+            self.transfers += 1
+        return cycles
+
+    def achieved_bandwidth_gbs(self, elapsed_cycles: int) -> float:
+        """Average bandwidth over a run of ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        seconds = elapsed_cycles / (self.freq_mhz * 1e6)
+        return self.total_bytes / seconds / 1e9

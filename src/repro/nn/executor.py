@@ -1,0 +1,118 @@
+"""Batch inference executor with timing and classification utilities.
+
+The layer/network substrate is single-image (CHW) by design — the paper's
+accelerator processes one image per CU pass and batches only across the
+S_ec vector lanes. This executor adds the host-side conveniences a user
+expects from the library: batched runs, per-layer wall-time profiling and
+top-k extraction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .network import Network
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """Wall time of one layer across a profiled run."""
+
+    name: str
+    kind: str
+    seconds: float
+    on_accelerator: bool
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outputs of a batched run, with optional profiling."""
+
+    outputs: np.ndarray  # (batch, *output_shape)
+    seconds: float
+    profiles: Tuple[LayerProfile, ...] = ()
+
+    @property
+    def images_per_second(self) -> float:
+        if self.seconds == 0:
+            return float("inf")
+        return self.outputs.shape[0] / self.seconds
+
+    def top_k(self, k: int = 5) -> np.ndarray:
+        """(batch, k) class indices, best first."""
+        flat = self.outputs.reshape(self.outputs.shape[0], -1)
+        if k < 1 or k > flat.shape[1]:
+            raise ValueError(f"k must be in [1, {flat.shape[1]}]")
+        order = np.argsort(-flat, axis=1)
+        return order[:, :k]
+
+    def top_1(self) -> np.ndarray:
+        """(batch,) class indices."""
+        return self.top_k(1)[:, 0]
+
+
+class Executor:
+    """Runs batches of CHW images through a network."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+
+    def _validate_batch(self, images: np.ndarray) -> np.ndarray:
+        arr = np.asarray(images)
+        expected = self.network.input_shape.as_tuple()
+        if arr.ndim == 3 and arr.shape == expected:
+            arr = arr[None]
+        if arr.ndim != 4 or arr.shape[1:] != expected:
+            raise ValueError(
+                f"expected a (batch, {expected[0]}, {expected[1]}, "
+                f"{expected[2]}) array, got {arr.shape}"
+            )
+        return arr
+
+    def run(self, images: np.ndarray) -> BatchResult:
+        """Run a batch (or a single CHW image) through the network."""
+        batch = self._validate_batch(images)
+        started = time.perf_counter()
+        outputs = np.stack([self.network.forward(image) for image in batch])
+        return BatchResult(outputs=outputs, seconds=time.perf_counter() - started)
+
+    def profile(self, images: np.ndarray) -> BatchResult:
+        """Run a batch with per-layer wall-time accounting."""
+        batch = self._validate_batch(images)
+        timings: Dict[str, float] = {layer.name: 0.0 for layer in self.network}
+        outputs: List[np.ndarray] = []
+        started = time.perf_counter()
+        for image in batch:
+            value = image
+            for layer in self.network:
+                layer_start = time.perf_counter()
+                value = layer.forward(value)
+                timings[layer.name] += time.perf_counter() - layer_start
+            outputs.append(value)
+        total = time.perf_counter() - started
+        profiles = tuple(
+            LayerProfile(
+                name=layer.name,
+                kind=type(layer).__name__,
+                seconds=timings[layer.name],
+                on_accelerator=layer.runs_on_accelerator,
+            )
+            for layer in self.network
+        )
+        return BatchResult(outputs=np.stack(outputs), seconds=total, profiles=profiles)
+
+    @staticmethod
+    def accelerated_fraction(profiles: Sequence[LayerProfile]) -> float:
+        """Fraction of profiled time spent in conv/FC layers.
+
+        On a CPU this is the Amdahl ceiling of any conv/FC accelerator —
+        the quantity that motivates the paper's FPGA offload split.
+        """
+        total = sum(p.seconds for p in profiles)
+        if total == 0:
+            return 0.0
+        return sum(p.seconds for p in profiles if p.on_accelerator) / total

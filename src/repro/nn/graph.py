@@ -1,0 +1,193 @@
+"""DAG networks: branching/merging topologies beyond sequential stacks.
+
+The paper's two benchmarks are sequential, but its accelerator is not
+limited to chains — any CNN whose conv/FC layers can be enumerated with
+shapes maps onto the same workload model. This module adds a directed
+acyclic graph container (on networkx) with ``Add`` and ``Concat`` merge
+nodes, enough to express residual and inception-style blocks, and extracts
+the same :class:`~repro.core.specs.LayerSpec` list the DSE flow and
+simulator consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..core.specs import LayerSpec, conv_spec, fc_spec
+from .layers.base import Layer
+from .layers.conv import Conv2D
+from .layers.fc import FullyConnected
+from .tensor import FeatureShape
+
+INPUT_NODE = "__input__"
+
+
+class MergeLayer(Layer):
+    """A layer combining several parent feature maps."""
+
+    def forward(self, features: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise TypeError(f"{type(self).__name__} needs forward_multi()")
+
+    def forward_multi(self, features: Sequence[np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    def output_shape_multi(self, shapes: Sequence[FeatureShape]) -> FeatureShape:
+        raise NotImplementedError
+
+    def output_shape(self, input_shape: FeatureShape) -> FeatureShape:
+        return self.output_shape_multi([input_shape])
+
+
+class Add(MergeLayer):
+    """Elementwise sum of identically-shaped parents (residual join)."""
+
+    def output_shape_multi(self, shapes: Sequence[FeatureShape]) -> FeatureShape:
+        if not shapes:
+            raise ValueError(f"{self.name}: Add needs at least one input")
+        first = shapes[0]
+        for shape in shapes[1:]:
+            if shape != first:
+                raise ValueError(
+                    f"{self.name}: Add inputs must match, got {first} vs {shape}"
+                )
+        return first
+
+    def forward_multi(self, features: Sequence[np.ndarray]) -> np.ndarray:
+        result = np.array(features[0], copy=True)
+        for branch in features[1:]:
+            result = result + branch
+        return result
+
+
+class Concat(MergeLayer):
+    """Channel-axis concatenation of spatially-matching parents."""
+
+    def output_shape_multi(self, shapes: Sequence[FeatureShape]) -> FeatureShape:
+        if not shapes:
+            raise ValueError(f"{self.name}: Concat needs at least one input")
+        rows, cols = shapes[0].rows, shapes[0].cols
+        for shape in shapes[1:]:
+            if (shape.rows, shape.cols) != (rows, cols):
+                raise ValueError(
+                    f"{self.name}: Concat inputs must share spatial dims"
+                )
+        return FeatureShape(sum(s.channels for s in shapes), rows, cols)
+
+    def forward_multi(self, features: Sequence[np.ndarray]) -> np.ndarray:
+        return np.concatenate(list(features), axis=0)
+
+
+class GraphNetwork:
+    """A DAG of layers with shape inference and topological execution."""
+
+    def __init__(self, name: str, input_shape: FeatureShape) -> None:
+        self.name = name
+        self.input_shape = input_shape
+        self._graph = nx.DiGraph()
+        self._graph.add_node(INPUT_NODE)
+        self._layers: Dict[str, Layer] = {}
+        self._shapes: Dict[str, FeatureShape] = {INPUT_NODE: input_shape}
+        self._output: Optional[str] = None
+
+    def add_layer(self, layer: Layer, inputs: Sequence[str] = (INPUT_NODE,)) -> str:
+        """Attach a layer fed by the named parents; returns its name."""
+        if layer.name in self._layers or layer.name == INPUT_NODE:
+            raise ValueError(f"duplicate layer name {layer.name!r}")
+        parent_shapes = []
+        for parent in inputs:
+            if parent not in self._shapes:
+                raise KeyError(f"unknown input node {parent!r}")
+            parent_shapes.append(self._shapes[parent])
+        if isinstance(layer, MergeLayer):
+            shape = layer.output_shape_multi(parent_shapes)
+        else:
+            if len(parent_shapes) != 1:
+                raise ValueError(
+                    f"{layer.name}: non-merge layers take exactly one input"
+                )
+            shape = layer.output_shape(parent_shapes[0])
+        self._graph.add_node(layer.name)
+        for parent in inputs:
+            self._graph.add_edge(parent, layer.name)
+        if not nx.is_directed_acyclic_graph(self._graph):  # pragma: no cover
+            self._graph.remove_node(layer.name)
+            raise ValueError(f"adding {layer.name!r} would create a cycle")
+        self._layers[layer.name] = layer
+        self._shapes[layer.name] = shape
+        self._output = layer.name  # latest layer is the default output
+        return layer.name
+
+    def set_output(self, name: str) -> None:
+        if name not in self._layers:
+            raise KeyError(f"unknown layer {name!r}")
+        self._output = name
+
+    @property
+    def output_shape(self) -> FeatureShape:
+        if self._output is None:
+            raise RuntimeError("network has no layers")
+        return self._shapes[self._output]
+
+    def layer(self, name: str) -> Layer:
+        if name not in self._layers:
+            raise KeyError(f"no layer named {name!r}")
+        return self._layers[name]
+
+    def shape_of(self, name: str) -> FeatureShape:
+        return self._shapes[name]
+
+    def topological_order(self) -> List[str]:
+        """Layer names in execution order."""
+        return [n for n in nx.topological_sort(self._graph) if n != INPUT_NODE]
+
+    def forward(self, features: np.ndarray) -> np.ndarray:
+        arr = np.asarray(features)
+        if arr.shape != self.input_shape.as_tuple():
+            raise ValueError(
+                f"expected input shape {self.input_shape.as_tuple()}, got {arr.shape}"
+            )
+        if self._output is None:
+            raise RuntimeError("network has no layers")
+        values: Dict[str, np.ndarray] = {INPUT_NODE: arr}
+        for name in self.topological_order():
+            layer = self._layers[name]
+            parents = [values[p] for p in self._graph.predecessors(name)]
+            if isinstance(layer, MergeLayer):
+                values[name] = layer.forward_multi(parents)
+            else:
+                values[name] = layer.forward(parents[0])
+        return values[self._output]
+
+    def accelerated_specs(self) -> List[LayerSpec]:
+        """LayerSpecs of every conv/FC node, in topological order."""
+        specs = []
+        for name in self.topological_order():
+            layer = self._layers[name]
+            parents = list(self._graph.predecessors(name))
+            in_shape = self._shapes[parents[0]]
+            if isinstance(layer, Conv2D):
+                specs.append(
+                    conv_spec(
+                        name,
+                        layer.in_channels,
+                        layer.out_channels,
+                        layer.kernel,
+                        in_shape.rows,
+                        in_shape.cols,
+                        stride=layer.stride,
+                        padding=layer.padding,
+                        groups=layer.groups,
+                    )
+                )
+            elif isinstance(layer, FullyConnected):
+                specs.append(fc_spec(name, layer.in_features, layer.out_features))
+        return specs
+
+    def parameter_count(self) -> int:
+        return sum(layer.parameter_count for layer in self._layers.values())
+
+    def __len__(self) -> int:
+        return len(self._layers)

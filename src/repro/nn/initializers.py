@@ -1,0 +1,59 @@
+"""Deterministic synthetic weight initialization.
+
+We have no trained ImageNet checkpoints offline, so model weights are
+synthesized. Two aspects matter to the reproduction and are controlled here:
+
+- the *magnitude distribution* (trained CNN weights are heavy-tailed and
+  zero-centred; we use a Laplacian, which magnitude pruning then truncates
+  exactly the way Deep Compression's histograms show), and
+- determinism (every generator takes an explicit seed, so experiments and
+  tests are bit-reproducible).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers.base import Layer
+from .layers.conv import Conv2D
+from .layers.fc import FullyConnected
+from .network import Network
+
+
+def he_std(fan_in: int) -> float:
+    """He-initialization standard deviation for a given fan-in."""
+    if fan_in < 1:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    return float(np.sqrt(2.0 / fan_in))
+
+
+def laplacian_weights(
+    shape: tuple, fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Heavy-tailed synthetic weights with He-scaled variance.
+
+    A Laplace(0, b) variate has variance 2*b^2; we pick b so the variance
+    matches He initialization, which keeps activations in a realistic range
+    through deep stacks.
+    """
+    scale = he_std(fan_in) / np.sqrt(2.0)
+    return rng.laplace(0.0, scale, size=shape)
+
+
+def initialize_layer(layer: Layer, rng: np.random.Generator) -> None:
+    """Fill one layer's weights/bias in place (no-op for stateless layers)."""
+    if isinstance(layer, Conv2D):
+        fan_in = layer.weights.shape[1] * layer.kernel * layer.kernel
+        layer.weights = laplacian_weights(layer.weights.shape, fan_in, rng)
+        layer.bias[:] = rng.normal(0.0, 0.01, size=layer.bias.shape)
+    elif isinstance(layer, FullyConnected):
+        layer.weights = laplacian_weights(layer.weights.shape, layer.in_features, rng)
+        layer.bias[:] = rng.normal(0.0, 0.01, size=layer.bias.shape)
+
+
+def initialize_network(network: Network, seed: int = 0) -> Network:
+    """Deterministically initialize every weighted layer of a network."""
+    rng = np.random.default_rng(seed)
+    for layer in network:
+        initialize_layer(layer, rng)
+    return network

@@ -1,0 +1,67 @@
+"""Layer interface for the inference-only CNN substrate.
+
+Layers are forward-only (the paper accelerates inference; pruning and
+quantization operate on already-trained weights, which we synthesize). Every
+layer can infer its output shape, report parameter and operation counts, and
+declare whether the paper's accelerator executes it on the FPGA (convolution
+and fully-connected layers) or leaves it to the host CPU (pooling, LRN,
+softmax and friends — Section 6.1).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import FeatureShape
+
+
+class Layer(abc.ABC):
+    """Base class of all network layers."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("layer name must be non-empty")
+        self.name = name
+
+    @abc.abstractmethod
+    def output_shape(self, input_shape: FeatureShape) -> FeatureShape:
+        """Shape of the output feature map for a given input shape."""
+
+    @abc.abstractmethod
+    def forward(self, features: np.ndarray) -> np.ndarray:
+        """Run the layer on a CHW feature map."""
+
+    @property
+    def parameter_count(self) -> int:
+        """Number of trainable parameters (0 for stateless layers)."""
+        return 0
+
+    def operation_count(self, input_shape: FeatureShape) -> int:
+        """Number of arithmetic operations (the paper counts 2 per MAC)."""
+        return 0
+
+    @property
+    def runs_on_accelerator(self) -> bool:
+        """True if the FPGA executes this layer (CONV and FC only)."""
+        return False
+
+    @property
+    def weights(self) -> Optional[np.ndarray]:
+        """Weight tensor, or None for stateless layers."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+def require_chw(features: np.ndarray, layer: Layer) -> np.ndarray:
+    """Validate that a feature map is a 3-D CHW array."""
+    arr = np.asarray(features)
+    if arr.ndim != 3:
+        raise ValueError(
+            f"layer {layer.name!r} expects a CHW feature map, got shape {arr.shape}"
+        )
+    return arr

@@ -1,0 +1,160 @@
+"""2-D convolution layer (Equation 1 of the paper) with an im2col forward.
+
+Supports stride, symmetric zero padding and channel groups (AlexNet's
+conv2/4/5 are 2-group convolutions). The weight layout is (M, N/g, K, K)
+with M output channels, matching the paper's W_{m,n,k,k'} indexing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import FeatureShape, conv_output_extent
+from .base import Layer, require_chw
+
+
+def im2col(
+    features: np.ndarray, kernel: int, stride: int, padding: int
+) -> np.ndarray:
+    """Unfold a CHW feature map into a (out_pixels, C*K*K) patch matrix.
+
+    Rows are ordered row-major over output positions; columns are ordered
+    (channel, kernel_row, kernel_col) — exactly the (n, k, k') index order
+    the paper's weight encoding uses.
+    """
+    channels, rows, cols = features.shape
+    if padding:
+        features = np.pad(
+            features, ((0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    out_rows = conv_output_extent(rows, kernel, stride, padding)
+    out_cols = conv_output_extent(cols, kernel, stride, padding)
+    # Gather with stride tricks: windows[c, r', c', k, k'].
+    windows = np.lib.stride_tricks.sliding_window_view(
+        features, (kernel, kernel), axis=(1, 2)
+    )[:, ::stride, ::stride]
+    patches = windows.transpose(1, 2, 0, 3, 4).reshape(
+        out_rows * out_cols, channels * kernel * kernel
+    )
+    return np.ascontiguousarray(patches)
+
+
+class Conv2D(Layer):
+    """Spatial convolution layer.
+
+    Parameters
+    ----------
+    name:
+        Layer name (e.g. ``"conv4_2"``) — also the key used by the pruning
+        schedule and the quantizer.
+    in_channels / out_channels:
+        N and M in the paper's notation.
+    kernel:
+        K (square kernels only, as in AlexNet/VGG16).
+    stride / padding:
+        S and symmetric zero padding.
+    groups:
+        Channel groups; weights then have shape (M, N/groups, K, K).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        weights: Optional[np.ndarray] = None,
+        bias: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__(name)
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("channels must divide evenly into groups")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        expected = (out_channels, in_channels // groups, kernel, kernel)
+        if weights is None:
+            weights = np.zeros(expected, dtype=np.float64)
+        weights = np.asarray(weights)
+        if weights.shape != expected:
+            raise ValueError(f"weights must have shape {expected}, got {weights.shape}")
+        self._weights = weights
+        if bias is None:
+            bias = np.zeros(out_channels, dtype=np.float64)
+        bias = np.asarray(bias)
+        if bias.shape != (out_channels,):
+            raise ValueError(f"bias must have shape ({out_channels},)")
+        self._bias = bias
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._weights
+
+    @weights.setter
+    def weights(self, value: np.ndarray) -> None:
+        value = np.asarray(value)
+        if value.shape != self._weights.shape:
+            raise ValueError(
+                f"weights must keep shape {self._weights.shape}, got {value.shape}"
+            )
+        self._weights = value
+
+    @property
+    def bias(self) -> np.ndarray:
+        return self._bias
+
+    @property
+    def parameter_count(self) -> int:
+        return self._weights.size + self._bias.size
+
+    @property
+    def runs_on_accelerator(self) -> bool:
+        return True
+
+    def output_shape(self, input_shape: FeatureShape) -> FeatureShape:
+        if input_shape.channels != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} input channels, "
+                f"got {input_shape.channels}"
+            )
+        return FeatureShape(
+            self.out_channels,
+            conv_output_extent(input_shape.rows, self.kernel, self.stride, self.padding),
+            conv_output_extent(input_shape.cols, self.kernel, self.stride, self.padding),
+        )
+
+    def operation_count(self, input_shape: FeatureShape) -> int:
+        """Dense spatial-convolution op count: 2 ops (mul+add) per MAC."""
+        out = self.output_shape(input_shape)
+        macs_per_pixel = (self.in_channels // self.groups) * self.kernel * self.kernel
+        return 2 * macs_per_pixel * self.out_channels * out.pixels
+
+    def forward(self, features: np.ndarray) -> np.ndarray:
+        features = require_chw(features, self)
+        out_shape = self.output_shape(FeatureShape(*features.shape))
+        group_in = self.in_channels // self.groups
+        group_out = self.out_channels // self.groups
+        output = np.empty(out_shape.as_tuple(), dtype=np.result_type(features, self._weights))
+        for g in range(self.groups):
+            patches = im2col(
+                features[g * group_in : (g + 1) * group_in],
+                self.kernel,
+                self.stride,
+                self.padding,
+            )
+            kernels = self._weights[g * group_out : (g + 1) * group_out].reshape(
+                group_out, -1
+            )
+            result = patches @ kernels.T + self._bias[g * group_out : (g + 1) * group_out]
+            output[g * group_out : (g + 1) * group_out] = result.T.reshape(
+                group_out, out_shape.rows, out_shape.cols
+            )
+        return output

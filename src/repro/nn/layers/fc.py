@@ -1,0 +1,97 @@
+"""Fully-connected layer.
+
+The paper folds FC computation into the convolution machinery by setting
+R = C = 1 and K = 1 in Equation (1): an FC layer is a 1x1 convolution over a
+1x1 feature map with N = in_features channels. :meth:`FullyConnected.as_conv`
+exposes exactly that view so the ABM-SpConv encoder, op counter and
+accelerator treat FC layers uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import FeatureShape
+from .base import Layer
+
+
+class FullyConnected(Layer):
+    """Dense layer computing ``y = W x + b`` with W of shape (out, in)."""
+
+    def __init__(
+        self,
+        name: str,
+        in_features: int,
+        out_features: int,
+        weights: Optional[np.ndarray] = None,
+        bias: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__(name)
+        self.in_features = in_features
+        self.out_features = out_features
+        expected = (out_features, in_features)
+        if weights is None:
+            weights = np.zeros(expected, dtype=np.float64)
+        weights = np.asarray(weights)
+        if weights.shape != expected:
+            raise ValueError(f"weights must have shape {expected}, got {weights.shape}")
+        self._weights = weights
+        if bias is None:
+            bias = np.zeros(out_features, dtype=np.float64)
+        bias = np.asarray(bias)
+        if bias.shape != (out_features,):
+            raise ValueError(f"bias must have shape ({out_features},)")
+        self._bias = bias
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._weights
+
+    @weights.setter
+    def weights(self, value: np.ndarray) -> None:
+        value = np.asarray(value)
+        if value.shape != self._weights.shape:
+            raise ValueError(
+                f"weights must keep shape {self._weights.shape}, got {value.shape}"
+            )
+        self._weights = value
+
+    @property
+    def bias(self) -> np.ndarray:
+        return self._bias
+
+    @property
+    def parameter_count(self) -> int:
+        return self._weights.size + self._bias.size
+
+    @property
+    def runs_on_accelerator(self) -> bool:
+        return True
+
+    def output_shape(self, input_shape: FeatureShape) -> FeatureShape:
+        if input_shape.size != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} input features, "
+                f"got shape {input_shape} ({input_shape.size} values)"
+            )
+        return FeatureShape(self.out_features, 1, 1)
+
+    def operation_count(self, input_shape: FeatureShape) -> int:
+        """Dense op count: 2 ops per MAC of the inner products."""
+        self.output_shape(input_shape)
+        return 2 * self.in_features * self.out_features
+
+    def as_conv_weights(self) -> np.ndarray:
+        """Weights viewed as (M, N, 1, 1) — the paper's FC-as-conv mapping."""
+        return self._weights.reshape(self.out_features, self.in_features, 1, 1)
+
+    def forward(self, features: np.ndarray) -> np.ndarray:
+        flat = np.asarray(features).reshape(-1)
+        if flat.size != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} inputs, got {flat.size}"
+            )
+        result = self._weights @ flat + self._bias
+        return result.reshape(self.out_features, 1, 1)

@@ -1,0 +1,70 @@
+"""Pooling layers (executed by the host CPU in the paper's system).
+
+AlexNet uses overlapping 3x3/stride-2 max pooling whose windows may run past
+the feature-map edge; we follow Caffe's ceil-mode semantics (pad the tail
+with -inf for max pooling) so the canonical AlexNet/VGG16 shapes come out
+right (55 -> 27 -> 13 -> 6 for AlexNet).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import FeatureShape, pool_output_extent
+from .base import Layer, require_chw
+
+
+class _Pool2D(Layer):
+    """Shared machinery for max/average pooling."""
+
+    def __init__(self, name: str, kernel: int, stride: int) -> None:
+        super().__init__(name)
+        if kernel < 1 or stride < 1:
+            raise ValueError("kernel and stride must be positive")
+        self.kernel = kernel
+        self.stride = stride
+
+    def output_shape(self, input_shape: FeatureShape) -> FeatureShape:
+        return FeatureShape(
+            input_shape.channels,
+            pool_output_extent(input_shape.rows, self.kernel, self.stride),
+            pool_output_extent(input_shape.cols, self.kernel, self.stride),
+        )
+
+    def _windows(self, features: np.ndarray, fill: float) -> np.ndarray:
+        """All pooling windows as an array (C, R', C', K, K)."""
+        channels, rows, cols = features.shape
+        out_rows = pool_output_extent(rows, self.kernel, self.stride)
+        out_cols = pool_output_extent(cols, self.kernel, self.stride)
+        need_rows = (out_rows - 1) * self.stride + self.kernel
+        need_cols = (out_cols - 1) * self.stride + self.kernel
+        if need_rows > rows or need_cols > cols:
+            features = np.pad(
+                features,
+                ((0, 0), (0, need_rows - rows), (0, need_cols - cols)),
+                mode="constant",
+                constant_values=fill,
+            )
+        windows = np.lib.stride_tricks.sliding_window_view(
+            features, (self.kernel, self.kernel), axis=(1, 2)
+        )[:, :: self.stride, :: self.stride]
+        return windows[:, :out_rows, :out_cols]
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling over KxK windows."""
+
+    def forward(self, features: np.ndarray) -> np.ndarray:
+        features = require_chw(features, self)
+        windows = self._windows(features.astype(np.float64), fill=-np.inf)
+        return windows.max(axis=(3, 4))
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling over KxK windows (tail windows average real pixels)."""
+
+    def forward(self, features: np.ndarray) -> np.ndarray:
+        features = require_chw(features, self)
+        valid = self._windows(np.ones_like(features, dtype=np.float64), fill=0.0)
+        windows = self._windows(features.astype(np.float64), fill=0.0)
+        return windows.sum(axis=(3, 4)) / valid.sum(axis=(3, 4))

@@ -1,0 +1,21 @@
+"""Softmax classifier head (host-CPU layer in the paper's system)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import FeatureShape
+from .base import Layer, require_chw
+
+
+class Softmax(Layer):
+    """Numerically-stable softmax over the channel axis."""
+
+    def output_shape(self, input_shape: FeatureShape) -> FeatureShape:
+        return input_shape
+
+    def forward(self, features: np.ndarray) -> np.ndarray:
+        features = require_chw(features, self).astype(np.float64)
+        shifted = features - features.max(axis=0, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=0, keepdims=True)

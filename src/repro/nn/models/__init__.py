@@ -1,0 +1,41 @@
+"""Model zoo: AlexNet and VGG16 plus the architecture DSL to add more."""
+
+from .alexnet import alexnet_architecture
+from .arch import (
+    Architecture,
+    ConvDef,
+    DropoutDef,
+    FCDef,
+    FlattenDef,
+    LRNDef,
+    PoolDef,
+    ReLUDef,
+    SoftmaxDef,
+)
+from .cifarnet import cifarnet_architecture
+from .lenet import lenet_architecture
+from .mobilenet import mobilenet_tiny_architecture
+from .registry import available_models, get_architecture, register_model
+from .vgg16 import vgg16_architecture
+from .vgg19 import vgg19_architecture
+
+__all__ = [
+    "Architecture",
+    "ConvDef",
+    "PoolDef",
+    "FCDef",
+    "ReLUDef",
+    "LRNDef",
+    "DropoutDef",
+    "FlattenDef",
+    "SoftmaxDef",
+    "alexnet_architecture",
+    "vgg16_architecture",
+    "vgg19_architecture",
+    "cifarnet_architecture",
+    "lenet_architecture",
+    "mobilenet_tiny_architecture",
+    "available_models",
+    "get_architecture",
+    "register_model",
+]

@@ -1,0 +1,283 @@
+"""Architecture descriptions that build both networks and analytic specs.
+
+An :class:`Architecture` is a declarative layer list. It has two consumers:
+
+- :meth:`Architecture.build` instantiates an executable :class:`Network`
+  (optionally channel-scaled so laptop-scale tests don't allocate VGG16's
+  550 MB of fully-connected weights), and
+- :meth:`Architecture.accelerated_specs` walks the same description purely
+  symbolically and yields the :class:`~repro.core.specs.LayerSpec` of every
+  conv/FC layer at full size — what Tables 1-3 and the DSE flow consume.
+
+Keeping one source of truth guarantees the analytic and executable views of
+AlexNet/VGG16 can never drift apart.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from ...core.specs import LayerSpec, conv_spec, fc_spec
+from ..initializers import initialize_network
+from ..layers import (
+    AvgPool2D,
+    Conv2D,
+    Dropout,
+    Flatten,
+    FullyConnected,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+from ..network import Network
+from ..tensor import FeatureShape, conv_output_extent, pool_output_extent
+
+
+@dataclass(frozen=True)
+class ConvDef:
+    name: str
+    out_channels: int
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+    #: Depthwise convolution: one filter per input channel (groups == the
+    #: input channel count, output channels == input channels). The
+    #: ``out_channels``/``groups`` fields are ignored when set.
+    depthwise: bool = False
+
+
+@dataclass(frozen=True)
+class PoolDef:
+    name: str
+    kernel: int
+    stride: int
+    kind: str = "max"
+
+
+@dataclass(frozen=True)
+class FCDef:
+    name: str
+    out_features: int
+    scale_output: bool = True
+
+
+@dataclass(frozen=True)
+class ReLUDef:
+    name: str
+
+
+@dataclass(frozen=True)
+class LRNDef:
+    name: str
+    local_size: int = 5
+    alpha: float = 1e-4
+    beta: float = 0.75
+
+
+@dataclass(frozen=True)
+class DropoutDef:
+    name: str
+    rate: float = 0.5
+
+
+@dataclass(frozen=True)
+class FlattenDef:
+    name: str
+
+
+@dataclass(frozen=True)
+class SoftmaxDef:
+    name: str
+
+
+LayerDef = Union[
+    ConvDef, PoolDef, FCDef, ReLUDef, LRNDef, DropoutDef, FlattenDef, SoftmaxDef
+]
+
+
+def _scaled(value: int, scale: float) -> int:
+    """Scale a channel count, never below 1."""
+    return max(1, int(round(value * scale)))
+
+
+@dataclass
+class Architecture:
+    """A named CNN architecture description."""
+
+    name: str
+    input_channels: int
+    input_rows: int
+    input_cols: int
+    defs: Sequence[LayerDef] = field(default_factory=list)
+
+    def layer_shapes(self) -> List[tuple]:
+        """Symbolic (layer_def, in_shape, out_shape) walk at full size.
+
+        Shapes are (channels, rows, cols) tuples; no weights are allocated,
+        so this works for models whose tensors would not fit in memory.
+        """
+        out: List[tuple] = []
+        channels, rows, cols = self.input_channels, self.input_rows, self.input_cols
+        for layer_def in self.defs:
+            in_shape = (channels, rows, cols)
+            if isinstance(layer_def, ConvDef):
+                channels = layer_def.out_channels
+                rows = conv_output_extent(
+                    rows, layer_def.kernel, layer_def.stride, layer_def.padding
+                )
+                cols = conv_output_extent(
+                    cols, layer_def.kernel, layer_def.stride, layer_def.padding
+                )
+            elif isinstance(layer_def, PoolDef):
+                rows = pool_output_extent(rows, layer_def.kernel, layer_def.stride)
+                cols = pool_output_extent(cols, layer_def.kernel, layer_def.stride)
+            elif isinstance(layer_def, FlattenDef):
+                channels, rows, cols = channels * rows * cols, 1, 1
+            elif isinstance(layer_def, FCDef):
+                channels, rows, cols = layer_def.out_features, 1, 1
+            out.append((layer_def, in_shape, (channels, rows, cols)))
+        return out
+
+    def accelerated_specs(self) -> List[LayerSpec]:
+        """Full-size conv/FC :class:`LayerSpec` list (no weight allocation)."""
+        specs: List[LayerSpec] = []
+        channels, rows, cols = self.input_channels, self.input_rows, self.input_cols
+        flattened = False
+        for layer_def in self.defs:
+            if isinstance(layer_def, ConvDef):
+                out_channels = channels if layer_def.depthwise else layer_def.out_channels
+                groups = channels if layer_def.depthwise else layer_def.groups
+                spec = conv_spec(
+                    layer_def.name,
+                    channels,
+                    out_channels,
+                    layer_def.kernel,
+                    rows,
+                    cols,
+                    stride=layer_def.stride,
+                    padding=layer_def.padding,
+                    groups=groups,
+                )
+                specs.append(spec)
+                channels, rows, cols = spec.out_channels, spec.out_rows, spec.out_cols
+            elif isinstance(layer_def, PoolDef):
+                rows = pool_output_extent(rows, layer_def.kernel, layer_def.stride)
+                cols = pool_output_extent(cols, layer_def.kernel, layer_def.stride)
+            elif isinstance(layer_def, FlattenDef):
+                channels, rows, cols = channels * rows * cols, 1, 1
+                flattened = True
+            elif isinstance(layer_def, FCDef):
+                if not flattened and (rows, cols) != (1, 1):
+                    raise ValueError(
+                        f"{layer_def.name}: FC layer requires a flattened input"
+                    )
+                specs.append(fc_spec(layer_def.name, channels * rows * cols, layer_def.out_features))
+                channels, rows, cols = layer_def.out_features, 1, 1
+            # ReLU / LRN / Dropout / Softmax keep the shape.
+        return specs
+
+    def build(
+        self,
+        scale: float = 1.0,
+        seed: Optional[int] = 0,
+        spatial_scale: float = 1.0,
+    ) -> Network:
+        """Instantiate an executable network.
+
+        Parameters
+        ----------
+        scale:
+            Channel-count multiplier (1.0 = the published architecture).
+            Grouped convolutions keep their group counts; channel counts are
+            rounded up to multiples of the group count.
+        seed:
+            Seed for the synthetic Laplacian weights; ``None`` leaves all
+            weights zero (useful when a pruner/quantizer will overwrite them).
+        spatial_scale:
+            Input resolution multiplier for cheap end-to-end runs.
+        """
+        if scale <= 0 or spatial_scale <= 0:
+            raise ValueError("scale factors must be positive")
+        rows = max(8, int(round(self.input_rows * spatial_scale)))
+        cols = max(8, int(round(self.input_cols * spatial_scale)))
+        input_shape = FeatureShape(self.input_channels, rows, cols)
+        layers = []
+        channels = self.input_channels
+        cur_rows, cur_cols = rows, cols
+        conv_defs = [d for d in self.defs if isinstance(d, ConvDef)]
+        # A scaled channel count must divide by this layer's groups *and*
+        # by the next convolution's groups (its input grouping).
+        next_groups = {
+            d.name: conv_defs[i + 1].groups if i + 1 < len(conv_defs) else 1
+            for i, d in enumerate(conv_defs)
+        }
+        for layer_def in self.defs:
+            if isinstance(layer_def, ConvDef):
+                if layer_def.depthwise:
+                    out_channels = channels
+                    groups = channels
+                else:
+                    out_channels = _scaled(layer_def.out_channels, scale)
+                    divisor = math.lcm(layer_def.groups, next_groups[layer_def.name])
+                    out_channels = math.ceil(out_channels / divisor) * divisor
+                    groups = layer_def.groups
+                layers.append(
+                    Conv2D(
+                        layer_def.name,
+                        channels,
+                        out_channels,
+                        layer_def.kernel,
+                        stride=layer_def.stride,
+                        padding=layer_def.padding,
+                        groups=groups,
+                    )
+                )
+                channels = out_channels
+                cur_rows = conv_output_extent(
+                    cur_rows, layer_def.kernel, layer_def.stride, layer_def.padding
+                )
+                cur_cols = conv_output_extent(
+                    cur_cols, layer_def.kernel, layer_def.stride, layer_def.padding
+                )
+            elif isinstance(layer_def, PoolDef):
+                pool_cls = MaxPool2D if layer_def.kind == "max" else AvgPool2D
+                layers.append(pool_cls(layer_def.name, layer_def.kernel, layer_def.stride))
+                cur_rows = pool_output_extent(cur_rows, layer_def.kernel, layer_def.stride)
+                cur_cols = pool_output_extent(cur_cols, layer_def.kernel, layer_def.stride)
+            elif isinstance(layer_def, FCDef):
+                in_features = channels * cur_rows * cur_cols
+                out_features = (
+                    _scaled(layer_def.out_features, scale)
+                    if layer_def.scale_output
+                    else layer_def.out_features
+                )
+                layers.append(FullyConnected(layer_def.name, in_features, out_features))
+                channels, cur_rows, cur_cols = out_features, 1, 1
+            elif isinstance(layer_def, ReLUDef):
+                layers.append(ReLU(layer_def.name))
+            elif isinstance(layer_def, LRNDef):
+                layers.append(
+                    LocalResponseNorm(
+                        layer_def.name,
+                        local_size=layer_def.local_size,
+                        alpha=layer_def.alpha,
+                        beta=layer_def.beta,
+                    )
+                )
+            elif isinstance(layer_def, DropoutDef):
+                layers.append(Dropout(layer_def.name, rate=layer_def.rate))
+            elif isinstance(layer_def, FlattenDef):
+                layers.append(Flatten(layer_def.name))
+                channels, cur_rows, cur_cols = channels * cur_rows * cur_cols, 1, 1
+            elif isinstance(layer_def, SoftmaxDef):
+                layers.append(Softmax(layer_def.name))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown layer definition {layer_def!r}")
+        network = Network(self.name, input_shape, layers)
+        if seed is not None:
+            initialize_network(network, seed=seed)
+        return network

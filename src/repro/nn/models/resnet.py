@@ -1,0 +1,65 @@
+"""A small residual network built on the DAG container.
+
+Not a paper benchmark — it demonstrates that ABM-SpConv's workload model
+covers branching topologies: every conv in the residual blocks yields a
+normal :class:`~repro.core.specs.LayerSpec`, so the simulator and DSE flow
+run unchanged (future-work territory for the paper, implemented here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Add, GraphNetwork
+from ..initializers import initialize_layer
+from ..layers import Conv2D, FullyConnected, MaxPool2D, ReLU, Softmax
+from ..layers.activation import Flatten
+from ..tensor import FeatureShape
+
+
+def _residual_block(
+    network: GraphNetwork,
+    name: str,
+    input_node: str,
+    channels: int,
+    in_channels: int,
+    rng: np.random.Generator,
+) -> str:
+    """conv-relu-conv + identity (or 1x1-projected) skip, then relu."""
+    conv_a = Conv2D(f"{name}_a", in_channels, channels, kernel=3, padding=1)
+    initialize_layer(conv_a, rng)
+    a = network.add_layer(conv_a, [input_node])
+    a_relu = network.add_layer(ReLU(f"{name}_a_relu"), [a])
+    conv_b = Conv2D(f"{name}_b", channels, channels, kernel=3, padding=1)
+    initialize_layer(conv_b, rng)
+    b = network.add_layer(conv_b, [a_relu])
+    skip = input_node
+    if in_channels != channels:
+        projection = Conv2D(f"{name}_proj", in_channels, channels, kernel=1)
+        initialize_layer(projection, rng)
+        skip = network.add_layer(projection, [input_node])
+    joined = network.add_layer(Add(f"{name}_add"), [b, skip])
+    return network.add_layer(ReLU(f"{name}_relu"), [joined])
+
+
+def tiny_resnet(
+    input_size: int = 32, num_classes: int = 10, seed: int = 0
+) -> GraphNetwork:
+    """A 2-block residual CNN for ``input_size`` x ``input_size`` inputs."""
+    rng = np.random.default_rng(seed)
+    network = GraphNetwork("tiny-resnet", FeatureShape(3, input_size, input_size))
+    stem = Conv2D("stem", 3, 16, kernel=3, padding=1)
+    initialize_layer(stem, rng)
+    node = network.add_layer(stem)
+    node = network.add_layer(ReLU("stem_relu"), [node])
+    node = _residual_block(network, "block1", node, 16, 16, rng)
+    node = network.add_layer(MaxPool2D("pool1", kernel=2, stride=2), [node])
+    node = _residual_block(network, "block2", node, 32, 16, rng)
+    node = network.add_layer(MaxPool2D("pool2", kernel=2, stride=2), [node])
+    node = network.add_layer(Flatten("flatten"), [node])
+    spatial = input_size // 4
+    head = FullyConnected("fc", 32 * spatial * spatial, num_classes)
+    initialize_layer(head, rng)
+    node = network.add_layer(head, [node])
+    network.add_layer(Softmax("prob"), [node])
+    return network

@@ -1,0 +1,143 @@
+"""Sequential network container with shape inference and introspection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .layers.base import Layer
+from .layers.conv import Conv2D
+from .layers.fc import FullyConnected
+from .tensor import FeatureShape
+
+ComputeLayer = Union[Conv2D, FullyConnected]
+
+
+@dataclass(frozen=True)
+class LayerSummary:
+    """One row of :meth:`Network.summary`."""
+
+    name: str
+    kind: str
+    output_shape: FeatureShape
+    parameters: int
+    operations: int
+    on_accelerator: bool
+
+
+class Network:
+    """An ordered stack of layers applied to a single CHW input.
+
+    The container validates shape compatibility at construction time so a
+    mis-specified model fails fast, and exposes the conv/FC sublist that the
+    paper's accelerator executes (:meth:`accelerated_layers`).
+    """
+
+    def __init__(self, name: str, input_shape: FeatureShape, layers: Sequence[Layer]) -> None:
+        if not layers:
+            raise ValueError("a network needs at least one layer")
+        names = [layer.name for layer in layers]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate layer names: {sorted(duplicates)}")
+        self.name = name
+        self.input_shape = input_shape
+        self.layers: List[Layer] = list(layers)
+        self._shapes: List[FeatureShape] = []
+        shape = input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+            self._shapes.append(shape)
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def layer(self, name: str) -> Layer:
+        """Look a layer up by name."""
+        for candidate in self.layers:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no layer named {name!r} in network {self.name!r}")
+
+    def input_shape_of(self, name: str) -> FeatureShape:
+        """Input shape seen by the named layer."""
+        for i, candidate in enumerate(self.layers):
+            if candidate.name == name:
+                return self.input_shape if i == 0 else self._shapes[i - 1]
+        raise KeyError(f"no layer named {name!r} in network {self.name!r}")
+
+    def output_shape_of(self, name: str) -> FeatureShape:
+        """Output shape produced by the named layer."""
+        for candidate, shape in zip(self.layers, self._shapes):
+            if candidate.name == name:
+                return shape
+        raise KeyError(f"no layer named {name!r} in network {self.name!r}")
+
+    @property
+    def output_shape(self) -> FeatureShape:
+        return self._shapes[-1]
+
+    def accelerated_layers(self) -> List[ComputeLayer]:
+        """Conv and FC layers, in order — what the FPGA executes."""
+        return [layer for layer in self.layers if layer.runs_on_accelerator]  # type: ignore[misc]
+
+    def parameter_count(self) -> int:
+        """Total trainable parameters across all layers."""
+        return sum(layer.parameter_count for layer in self.layers)
+
+    def operation_count(self) -> int:
+        """Total dense op count (2 per MAC), the paper's '#OP' for SDConv."""
+        total = 0
+        shape = self.input_shape
+        for layer in self.layers:
+            total += layer.operation_count(shape)
+            shape = layer.output_shape(shape)
+        return total
+
+    def forward(self, features: np.ndarray, upto: Optional[str] = None) -> np.ndarray:
+        """Run inference; optionally stop after the layer named ``upto``."""
+        arr = np.asarray(features)
+        if arr.shape != self.input_shape.as_tuple():
+            raise ValueError(
+                f"network {self.name!r} expects input shape "
+                f"{self.input_shape.as_tuple()}, got {arr.shape}"
+            )
+        for layer in self.layers:
+            arr = layer.forward(arr)
+            if upto is not None and layer.name == upto:
+                return arr
+        if upto is not None:
+            raise KeyError(f"no layer named {upto!r} in network {self.name!r}")
+        return arr
+
+    def activations(self, features: np.ndarray) -> Dict[str, np.ndarray]:
+        """Run inference and capture every layer's output (for calibration)."""
+        arr = np.asarray(features)
+        captured: Dict[str, np.ndarray] = {}
+        for layer in self.layers:
+            arr = layer.forward(arr)
+            captured[layer.name] = arr
+        return captured
+
+    def summary(self) -> List[LayerSummary]:
+        """Per-layer table of shapes, parameters and op counts."""
+        rows = []
+        shape = self.input_shape
+        for layer, out_shape in zip(self.layers, self._shapes):
+            rows.append(
+                LayerSummary(
+                    name=layer.name,
+                    kind=type(layer).__name__,
+                    output_shape=out_shape,
+                    parameters=layer.parameter_count,
+                    operations=layer.operation_count(shape),
+                    on_accelerator=layer.runs_on_accelerator,
+                )
+            )
+            shape = out_shape
+        return rows

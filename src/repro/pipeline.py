@@ -1,0 +1,289 @@
+"""End-to-end quantized inference pipeline.
+
+Reproduces the paper's deployment flow on a CNN: prune (Deep Compression
+schedule) -> quantize to 8-bit dynamic fixed point (Ristretto) -> encode the
+sparse weights (Figure 4) -> execute convolution/FC layers with ABM-SpConv
+exactly as the accelerator's datapath would (16-bit exact arithmetic, one
+rounding at write-back), while pooling / LRN / softmax run on the "host"
+in floating point, mirroring the paper's CPU/FPGA split (Section 6.1).
+
+The pipeline also doubles as the measurement harness: every accelerated
+layer reports its exact accumulate/multiply counts, which is how the
+Table 1 'measured' columns are produced for small models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .core.abm import ABMConvResult, ConvGeometry, abm_conv2d
+from .core.encoding import EncodedLayer, encode_layer
+from .nn.layers import (
+    AvgPool2D,
+    Conv2D,
+    Dropout,
+    Flatten,
+    FullyConnected,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+from .nn.network import Network
+from .prune.magnitude import prune_network
+from .quant.fixed_point import QFormat, fit_qformat
+from .quant.quantizer import QuantizedTensor
+
+
+@dataclass(frozen=True)
+class CompiledLayer:
+    """One accelerated layer ready for ABM execution."""
+
+    name: str
+    encoded: EncodedLayer
+    geometry: ConvGeometry
+    weight_fmt: QFormat
+    output_fmt: QFormat
+    bias_codes: np.ndarray  # quantized to the datapath format
+    is_fc: bool
+
+
+@dataclass
+class LayerRunStats:
+    """Exact op counts observed while executing one layer."""
+
+    name: str
+    accumulate_ops: int
+    multiply_ops: int
+
+    @property
+    def total_ops(self) -> int:
+        return self.accumulate_ops + self.multiply_ops
+
+
+@dataclass
+class InferenceResult:
+    """Output of a quantized inference pass."""
+
+    output: np.ndarray
+    layer_stats: List[LayerRunStats] = field(default_factory=list)
+
+    @property
+    def accumulate_ops(self) -> int:
+        return sum(stats.accumulate_ops for stats in self.layer_stats)
+
+    @property
+    def multiply_ops(self) -> int:
+        return sum(stats.multiply_ops for stats in self.layer_stats)
+
+    @property
+    def total_ops(self) -> int:
+        return self.accumulate_ops + self.multiply_ops
+
+
+class QuantizedPipeline:
+    """Prune -> quantize -> encode -> execute a network with ABM-SpConv."""
+
+    def __init__(
+        self,
+        network: Network,
+        weight_bits: int = 8,
+        feature_bits: int = 8,
+        weight_clusters: Optional[int] = None,
+    ) -> None:
+        """``weight_clusters`` enables Deep-Compression weight sharing:
+        each layer's surviving weights are k-means-clustered to at most
+        that many shared values before fixed-point encoding, which is the
+        mechanism that concentrates kernels onto few distinct values."""
+        self.network = network
+        self.weight_bits = weight_bits
+        self.feature_bits = feature_bits
+        self.weight_clusters = weight_clusters
+        self.input_fmt: Optional[QFormat] = None
+        self.output_fmts: Dict[str, QFormat] = {}
+        self.compiled: Dict[str, CompiledLayer] = {}
+        self._calibrated = False
+
+    # ---- flow stages ---------------------------------------------------
+
+    def prune(self, densities: Mapping[str, float]) -> "QuantizedPipeline":
+        """Magnitude-prune the float network in place."""
+        prune_network(self.network, densities)
+        self.compiled.clear()  # stale encodings, if any
+        return self
+
+    def calibrate(
+        self,
+        sample_input: np.ndarray,
+        strategy: str = "max",
+        percentile: float = 99.9,
+    ) -> "QuantizedPipeline":
+        """Fit per-layer dynamic fixed-point formats from a sample run.
+
+        ``strategy='percentile'`` clips the top activation tail instead of
+        covering the absolute maximum — finer LSBs at the cost of rare
+        saturation (see :mod:`repro.quant.activation_calibration`).
+        """
+        from .quant.activation_calibration import fit_with_strategy
+
+        self.input_fmt = fit_with_strategy(
+            np.asarray(sample_input), self.feature_bits, strategy, percentile
+        )
+        activations = self.network.activations(np.asarray(sample_input))
+        shape = self.network.input_shape
+        for layer in self.network:
+            # Conv/FC outputs feed the Sum/Round stage; every layer output
+            # that is stored as a feature map gets a calibrated format.
+            self.output_fmts[layer.name] = fit_with_strategy(
+                activations[layer.name], self.feature_bits, strategy, percentile
+            )
+            shape = layer.output_shape(shape)
+        self._calibrated = True
+        return self
+
+    def quantize(self) -> "QuantizedPipeline":
+        """Quantize weights and encode every accelerated layer."""
+        if not self._calibrated:
+            raise RuntimeError("calibrate() must run before quantize()")
+        for layer in self.network:
+            if isinstance(layer, Conv2D):
+                weights = self._shared_weights(layer.weights)
+                weight_fmt = fit_qformat(weights, self.weight_bits)
+                codes = weight_fmt.quantize(weights)
+                geometry = ConvGeometry(
+                    kernel=layer.kernel,
+                    stride=layer.stride,
+                    padding=layer.padding,
+                    groups=layer.groups,
+                )
+                self._compile(layer.name, codes, geometry, weight_fmt, layer.bias, False)
+            elif isinstance(layer, FullyConnected):
+                weights = self._shared_weights(layer.weights)
+                weight_fmt = fit_qformat(weights, self.weight_bits)
+                codes = weight_fmt.quantize(
+                    weights.reshape(layer.out_features, layer.in_features, 1, 1)
+                )
+                self._compile(
+                    layer.name, codes, ConvGeometry(kernel=1), weight_fmt, layer.bias, True
+                )
+        return self
+
+    def _shared_weights(self, weights: np.ndarray) -> np.ndarray:
+        """Apply optional k-means weight sharing before fixed-point coding."""
+        if self.weight_clusters is None:
+            return np.asarray(weights)
+        from .quant.clustering import cluster_weights
+
+        return cluster_weights(weights, self.weight_clusters).dense()
+
+    def _compile(
+        self,
+        name: str,
+        weight_codes: np.ndarray,
+        geometry: ConvGeometry,
+        weight_fmt: QFormat,
+        bias: np.ndarray,
+        is_fc: bool,
+    ) -> None:
+        if self.input_fmt is None:
+            raise RuntimeError("pipeline is not calibrated")
+        encoded = encode_layer(name, weight_codes)
+        self.compiled[name] = CompiledLayer(
+            name=name,
+            encoded=encoded,
+            geometry=geometry,
+            weight_fmt=weight_fmt,
+            output_fmt=self.output_fmts[name],
+            # Bias enters at the datapath scale of the *incoming* feature
+            # format times the weight format; resolved at run time because
+            # the input format of each layer depends on its predecessor.
+            bias_codes=np.asarray(bias, dtype=np.float64),
+            is_fc=is_fc,
+        )
+
+    # ---- execution -----------------------------------------------------
+
+    def run(self, image: np.ndarray) -> InferenceResult:
+        """Quantized inference with ABM-SpConv on all conv/FC layers."""
+        if self.input_fmt is None or not self.compiled:
+            raise RuntimeError("pipeline must be calibrated and quantized first")
+        codes = self.input_fmt.quantize(np.asarray(image))
+        fmt = self.input_fmt
+        stats: List[LayerRunStats] = []
+        for layer in self.network:
+            codes, fmt, layer_stats = self._run_layer(layer, codes, fmt)
+            if layer_stats is not None:
+                stats.append(layer_stats)
+        return InferenceResult(output=fmt.dequantize(codes), layer_stats=stats)
+
+    def _run_layer(
+        self, layer, codes: np.ndarray, fmt: QFormat
+    ) -> Tuple[np.ndarray, QFormat, Optional[LayerRunStats]]:
+        name = layer.name
+        if name in self.compiled:
+            compiled = self.compiled[name]
+            # Datapath format: product of input and weight scales, exact.
+            datapath_fmt = QFormat(32, fmt.frac_bits + compiled.weight_fmt.frac_bits)
+            bias_codes = datapath_fmt.quantize(compiled.bias_codes)
+            if compiled.is_fc:
+                flat = codes.reshape(-1, 1, 1)
+                result: ABMConvResult = abm_conv2d(
+                    flat, compiled.encoded, compiled.geometry, bias_codes=bias_codes
+                )
+            else:
+                result = abm_conv2d(
+                    codes, compiled.encoded, compiled.geometry, bias_codes=bias_codes
+                )
+            # Sum/Round: single rounding into the 8-bit feature format.
+            out_fmt = compiled.output_fmt
+            out_codes = out_fmt.quantize(datapath_fmt.dequantize(result.output))
+            return (
+                out_codes,
+                out_fmt,
+                LayerRunStats(
+                    name=name,
+                    accumulate_ops=result.accumulate_ops,
+                    multiply_ops=result.multiply_ops,
+                ),
+            )
+        if isinstance(layer, (ReLU,)):
+            return np.maximum(codes, 0), fmt, None
+        if isinstance(layer, MaxPool2D):
+            # Max of codes == code of max: exact in integer domain.
+            return layer.forward(codes).astype(np.int64), fmt, None
+        if isinstance(layer, (Flatten, Dropout)):
+            return layer.forward(codes).astype(np.int64), fmt, None
+        if isinstance(layer, (AvgPool2D, LocalResponseNorm, Softmax)):
+            # Host layers: dequantize, run float, requantize.
+            real = layer.forward(fmt.dequantize(codes))
+            out_fmt = self.output_fmts.get(layer.name, fmt)
+            return out_fmt.quantize(real), out_fmt, None
+        raise TypeError(f"pipeline cannot execute layer {layer!r}")
+
+    def run_float(self, image: np.ndarray) -> np.ndarray:
+        """Reference float inference of the (pruned) network."""
+        return self.network.forward(np.asarray(image))
+
+    # ---- reporting -----------------------------------------------------
+
+    def encoded_layers(self) -> List[EncodedLayer]:
+        """Encoded form of every accelerated layer, in network order."""
+        return [
+            self.compiled[layer.name].encoded
+            for layer in self.network
+            if layer.name in self.compiled
+        ]
+
+    def encoded_bytes(self) -> int:
+        """Total encoded weight footprint (paper Table 3's 'Encoded')."""
+        return sum(encoded.encoded_bytes for encoded in self.encoded_layers())
+
+    def quantized_weights(self, name: str) -> QuantizedTensor:
+        """A layer's quantized weight tensor (decoded view)."""
+        from .core.encoding import decode_layer
+
+        compiled = self.compiled[name]
+        return QuantizedTensor(decode_layer(compiled.encoded), compiled.weight_fmt)

@@ -1,0 +1,63 @@
+"""Magnitude pruning (Deep Compression style, Han et al. 2015).
+
+The paper prunes AlexNet and VGG16 with Han's scheme: per layer, the
+smallest-magnitude weights are zeroed until only a target density survives.
+We reproduce the *sparsification*, not the retraining (there is no training
+data offline and the accelerator is insensitive to accuracy); the per-layer
+densities come from the published Deep Compression tables, which the paper's
+Table 1 'Pruning Ratio' column matches layer for layer.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..nn.network import Network
+
+
+def prune_tensor(weights: np.ndarray, density: float) -> np.ndarray:
+    """Zero all but the ``density`` fraction of largest-magnitude weights.
+
+    Returns a new array; ties at the threshold are broken by keeping the
+    earliest entries in flat order so the kept count is exact.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    arr = np.asarray(weights, dtype=np.float64)
+    keep = int(round(density * arr.size))
+    if keep == 0:
+        return np.zeros_like(arr)
+    if keep >= arr.size:
+        return arr.copy()
+    flat = np.abs(arr).reshape(-1)
+    # argpartition puts the `keep` largest magnitudes in the tail.
+    kept_positions = np.argpartition(flat, arr.size - keep)[arr.size - keep :]
+    mask = np.zeros(arr.size, dtype=bool)
+    mask[kept_positions] = True
+    pruned = arr.reshape(-1).copy()
+    pruned[~mask] = 0.0
+    return pruned.reshape(arr.shape)
+
+
+def prune_network(network: Network, densities: Mapping[str, float]) -> Network:
+    """Prune every weighted layer of a network in place.
+
+    Layers absent from ``densities`` are left dense. Returns the network for
+    chaining.
+    """
+    for layer in network:
+        weights = layer.weights
+        if weights is None or layer.name not in densities:
+            continue
+        layer.weights = prune_tensor(weights, densities[layer.name])
+    return network
+
+
+def actual_density(weights: np.ndarray) -> float:
+    """Fraction of nonzero weights in a tensor."""
+    arr = np.asarray(weights)
+    if arr.size == 0:
+        return 0.0
+    return float(np.count_nonzero(arr)) / arr.size

@@ -1,0 +1,78 @@
+"""Network-level sparsity reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..nn.network import Network
+from .magnitude import actual_density
+
+
+@dataclass(frozen=True)
+class LayerDensityReport:
+    """Nonzero statistics of one weighted layer."""
+
+    name: str
+    total_weights: int
+    nonzero_weights: int
+
+    @property
+    def density(self) -> float:
+        if self.total_weights == 0:
+            return 0.0
+        return self.nonzero_weights / self.total_weights
+
+    @property
+    def pruning_ratio(self) -> float:
+        return 1.0 - self.density
+
+
+def network_density_report(network: Network) -> List[LayerDensityReport]:
+    """Per-layer density of every weighted layer in a network."""
+    report = []
+    for layer in network:
+        weights = layer.weights
+        if weights is None:
+            continue
+        report.append(
+            LayerDensityReport(
+                name=layer.name,
+                total_weights=int(np.asarray(weights).size),
+                nonzero_weights=int(np.count_nonzero(weights)),
+            )
+        )
+    return report
+
+
+def model_density(network: Network) -> float:
+    """Overall surviving-weight fraction of a network."""
+    report = network_density_report(network)
+    total = sum(entry.total_weights for entry in report)
+    if total == 0:
+        return 0.0
+    return sum(entry.nonzero_weights for entry in report) / total
+
+
+def mac_reduction_rate(network: Network) -> float:
+    """Reduction in MAC operations achieved by pruning (paper's R_mac).
+
+    Weighted by each layer's MAC count, not its weight count — a pruned FC
+    weight removes one MAC, but a pruned conv weight removes one MAC per
+    output pixel.
+    """
+    total_macs = 0.0
+    surviving_macs = 0.0
+    shape = network.input_shape
+    for layer in network:
+        weights = layer.weights
+        ops = layer.operation_count(shape)
+        if weights is not None and ops:
+            total_macs += ops / 2.0
+            surviving_macs += (ops / 2.0) * actual_density(weights)
+        shape = layer.output_shape(shape)
+    if surviving_macs == 0.0:
+        return float("inf") if total_macs else 1.0
+    return total_macs / surviving_macs

@@ -1,0 +1,107 @@
+"""Statistics over quantized tensors used by the DSE flow and Table 1.
+
+The key statistic for ABM-SpConv is, per convolution kernel (one output
+channel's N*K*K weight block), how many *distinct nonzero quantized values*
+appear: that is exactly the number of multiplications the factored
+convolution performs for each output pixel, and its ratio to the nonzero
+count is the accumulate/multiply arithmetic-intensity ratio that determines
+the sharing factor ``N`` (paper Section 5.2, last column of Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KernelSparsityStats:
+    """Sparsity/value statistics of one convolution kernel."""
+
+    total_weights: int
+    nonzero_weights: int
+    distinct_nonzero_values: int
+
+    @property
+    def density(self) -> float:
+        if self.total_weights == 0:
+            return 0.0
+        return self.nonzero_weights / self.total_weights
+
+    @property
+    def acc_to_mult_ratio(self) -> float:
+        """Accumulates per multiply for this kernel (paper Table 1 column)."""
+        if self.distinct_nonzero_values == 0:
+            return 0.0
+        return self.nonzero_weights / self.distinct_nonzero_values
+
+
+def kernel_stats(kernel_codes: np.ndarray) -> KernelSparsityStats:
+    """Statistics for a single kernel given its integer weight codes."""
+    codes = np.asarray(kernel_codes)
+    nonzero = codes[codes != 0]
+    return KernelSparsityStats(
+        total_weights=int(codes.size),
+        nonzero_weights=int(nonzero.size),
+        distinct_nonzero_values=int(np.unique(nonzero).size),
+    )
+
+
+def per_output_channel_stats(weight_codes: np.ndarray) -> List[KernelSparsityStats]:
+    """Statistics for every output-channel kernel of a conv weight tensor.
+
+    ``weight_codes`` has shape (M, N, K, K) — or (M, N) for FC treated as
+    1x1 convolution; the leading axis indexes output channels.
+    """
+    codes = np.asarray(weight_codes)
+    if codes.ndim < 2:
+        raise ValueError("weight tensor must have an output-channel axis")
+    return [kernel_stats(codes[m]) for m in range(codes.shape[0])]
+
+
+@dataclass(frozen=True)
+class LayerSparsitySummary:
+    """Aggregate sparsity summary of a layer (mean over kernels)."""
+
+    kernels: int
+    total_weights: int
+    nonzero_weights: int
+    mean_distinct_values: float
+    min_acc_to_mult_ratio: float
+    mean_acc_to_mult_ratio: float
+
+    @property
+    def density(self) -> float:
+        if self.total_weights == 0:
+            return 0.0
+        return self.nonzero_weights / self.total_weights
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of weights removed (paper Table 1 'Pruning Ratio')."""
+        return 1.0 - self.density
+
+
+def summarize_layer(weight_codes: np.ndarray) -> LayerSparsitySummary:
+    """Aggregate :func:`per_output_channel_stats` over a layer."""
+    stats = per_output_channel_stats(weight_codes)
+    return summarize_stats(stats)
+
+
+def summarize_stats(stats: Sequence[KernelSparsityStats]) -> LayerSparsitySummary:
+    """Aggregate precomputed per-kernel statistics."""
+    if not stats:
+        return LayerSparsitySummary(0, 0, 0, 0.0, 0.0, 0.0)
+    ratios = [s.acc_to_mult_ratio for s in stats if s.distinct_nonzero_values > 0]
+    return LayerSparsitySummary(
+        kernels=len(stats),
+        total_weights=sum(s.total_weights for s in stats),
+        nonzero_weights=sum(s.nonzero_weights for s in stats),
+        mean_distinct_values=float(
+            np.mean([s.distinct_nonzero_values for s in stats])
+        ),
+        min_acc_to_mult_ratio=min(ratios) if ratios else 0.0,
+        mean_acc_to_mult_ratio=float(np.mean(ratios)) if ratios else 0.0,
+    )

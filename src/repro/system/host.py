@@ -1,0 +1,107 @@
+"""Host-CPU execution model for the non-accelerated layers.
+
+In the paper's system (Section 6.1) the FPGA executes all convolution and
+FC layers while "the remaining layers, such as pooling, LRN and softmax,
+are executed by the host program on CPU", and pipelined processing hides
+the CPU time behind the FPGA time.
+
+This model estimates the host's per-image time from per-element operation
+costs: each layer class maps to an elementwise op count, divided by the
+host's sustained rate (default: a couple of vectorized Xeon cores). The
+hiding claim is then *tested* against the simulated FPGA time rather than
+assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..nn.layers import (
+    AvgPool2D,
+    Dropout,
+    Flatten,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+from ..nn.layers.base import Layer
+from ..nn.network import Network
+from ..nn.tensor import FeatureShape
+
+
+@dataclass(frozen=True)
+class HostLayerCost:
+    """Estimated host work for one CPU layer."""
+
+    name: str
+    kind: str
+    elementwise_ops: int
+
+    def seconds(self, ops_per_second: float) -> float:
+        if ops_per_second <= 0:
+            raise ValueError("host rate must be positive")
+        return self.elementwise_ops / ops_per_second
+
+
+def host_layer_ops(layer: Layer, input_shape: FeatureShape) -> int:
+    """Elementwise operation estimate for one host layer.
+
+    Pooling costs one compare/add per window element; LRN costs a square,
+    a windowed sum (via prefix sums, ~2 ops), a power and a divide (~8 ops
+    total) per element; softmax an exp+div (~10); ReLU one op. Layers with
+    no arithmetic (dropout, flatten) are free.
+    """
+    output = layer.output_shape(input_shape)
+    if isinstance(layer, (MaxPool2D, AvgPool2D)):
+        return output.size * layer.kernel * layer.kernel
+    if isinstance(layer, LocalResponseNorm):
+        return input_shape.size * 8
+    if isinstance(layer, Softmax):
+        return input_shape.size * 10
+    if isinstance(layer, ReLU):
+        return input_shape.size
+    if isinstance(layer, (Dropout, Flatten)):
+        return 0
+    return 0
+
+
+def host_costs(network: Network) -> List[HostLayerCost]:
+    """Host cost of every CPU-side layer of a network, in order."""
+    costs = []
+    shape = network.input_shape
+    for layer in network:
+        if not layer.runs_on_accelerator:
+            costs.append(
+                HostLayerCost(
+                    name=layer.name,
+                    kind=type(layer).__name__,
+                    elementwise_ops=host_layer_ops(layer, shape),
+                )
+            )
+        shape = layer.output_shape(shape)
+    return costs
+
+
+#: Default sustained host rate. The DE5-Net sits in a Xeon-class host; a
+#: couple of vectorized cores sustain ~4 G elementwise ops/s on pooling/LRN
+#: loops, which is what the paper's pipelining claim presumes.
+DEFAULT_HOST_OPS_PER_SECOND = 4e9
+
+
+@dataclass(frozen=True)
+class HostModel:
+    """The host CPU: per-image time for the non-accelerated layers."""
+
+    ops_per_second: float = DEFAULT_HOST_OPS_PER_SECOND
+
+    def seconds_per_image(self, network: Network) -> float:
+        return sum(c.seconds(self.ops_per_second) for c in host_costs(network))
+
+    def breakdown(self, network: Network) -> Sequence[Tuple[str, float]]:
+        """(layer, seconds) pairs for reporting."""
+        return [
+            (cost.name, cost.seconds(self.ops_per_second))
+            for cost in host_costs(network)
+        ]

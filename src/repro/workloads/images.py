@@ -1,0 +1,97 @@
+"""Synthetic calibration images with natural-image statistics.
+
+Dynamic fixed point is calibrated from activation ranges, and activation
+ranges depend on input statistics. Plain white noise under-drives deep
+layers; natural images famously follow a ~1/f amplitude spectrum with
+strongly correlated color channels. This generator produces such images
+offline, so calibration runs see realistic dynamic ranges without any
+dataset.
+
+Construction: white Gaussian noise shaped in the frequency domain by
+``1 / f^alpha`` (alpha = 1 is the natural-image law), inverse-transformed,
+then mixed across channels with a correlation factor and normalized to a
+target range.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _pink_field(rows: int, cols: int, alpha: float, rng: np.random.Generator) -> np.ndarray:
+    """One 2-D field with a 1/f^alpha amplitude spectrum, zero mean."""
+    spectrum = rng.normal(size=(rows, cols)) + 1j * rng.normal(size=(rows, cols))
+    fy = np.fft.fftfreq(rows)[:, None]
+    fx = np.fft.fftfreq(cols)[None, :]
+    radius = np.sqrt(fy**2 + fx**2)
+    radius[0, 0] = 1.0  # keep DC finite; it is re-centred below
+    shaped = spectrum / radius**alpha
+    field = np.real(np.fft.ifft2(shaped))
+    field -= field.mean()
+    deviation = field.std()
+    if deviation > 0:
+        field /= deviation
+    return field
+
+
+def natural_image(
+    shape: Tuple[int, int, int],
+    rng: np.random.Generator,
+    alpha: float = 1.0,
+    channel_correlation: float = 0.85,
+    value_range: Tuple[float, float] = (-1.0, 1.0),
+) -> np.ndarray:
+    """A CHW image with a 1/f^alpha spectrum and correlated channels."""
+    channels, rows, cols = shape
+    if channels < 1:
+        raise ValueError("need at least one channel")
+    if not 0.0 <= channel_correlation <= 1.0:
+        raise ValueError("channel correlation must be in [0, 1]")
+    lo, hi = value_range
+    if hi <= lo:
+        raise ValueError("value range must be increasing")
+    shared = _pink_field(rows, cols, alpha, rng)
+    image = np.empty(shape)
+    for c in range(channels):
+        own = _pink_field(rows, cols, alpha, rng)
+        mixed = channel_correlation * shared + (1 - channel_correlation) * own
+        image[c] = mixed
+    # Normalize to the requested range with a 3-sigma soft clip.
+    clipped = np.clip(image, -3.0, 3.0) / 3.0
+    return lo + (clipped + 1.0) * (hi - lo) / 2.0
+
+
+def calibration_batch(
+    shape: Tuple[int, int, int],
+    count: int,
+    rng: np.random.Generator,
+    **kwargs,
+) -> np.ndarray:
+    """A (count, C, H, W) batch of independent natural images."""
+    if count < 1:
+        raise ValueError("need at least one image")
+    return np.stack([natural_image(shape, rng, **kwargs) for _ in range(count)])
+
+
+def spectrum_slope(image_channel: np.ndarray) -> float:
+    """Fitted log-log slope of the radial amplitude spectrum.
+
+    Natural images sit near -1; white noise near 0. Used by tests to
+    verify the generator and by users to sanity-check their own inputs.
+    """
+    arr = np.asarray(image_channel, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("expected a single 2-D channel")
+    spectrum = np.abs(np.fft.fft2(arr - arr.mean()))
+    fy = np.fft.fftfreq(arr.shape[0])[:, None]
+    fx = np.fft.fftfreq(arr.shape[1])[None, :]
+    radius = np.sqrt(fy**2 + fx**2).reshape(-1)
+    amplitude = spectrum.reshape(-1)
+    # Fit over a mid-frequency band, away from DC and Nyquist wrap.
+    band = (radius > 0.02) & (radius < 0.35) & (amplitude > 0)
+    if band.sum() < 16:
+        raise ValueError("channel too small for a spectrum fit")
+    slope, _ = np.polyfit(np.log(radius[band]), np.log(amplitude[band]), 1)
+    return float(slope)

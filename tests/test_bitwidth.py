@@ -1,0 +1,44 @@
+"""Tests for the bit-width ablation experiment."""
+
+import pytest
+
+from repro.experiments import bitwidth
+
+
+@pytest.fixture(scope="module")
+def result():
+    return bitwidth.run(seed=1)
+
+
+class TestStatisticsSweep:
+    def test_multiplies_monotone_in_bits(self, result):
+        mops = [p.multiply_mop for p in result.points]
+        assert all(a <= b + 1e-9 for a, b in zip(mops, mops[1:]))
+
+    def test_eight_bit_matches_paper_workload(self, result):
+        """At q=8 the clamp is inactive: Table 1's 341 MOP of multiplies."""
+        point = next(p for p in result.points if p.weight_bits == 8)
+        assert point.multiply_mop == pytest.approx(341, rel=0.02)
+        assert point.n_share == 4
+
+    def test_throughput_stays_accumulate_bound(self, result):
+        gops = [p.throughput_gops for p in result.points]
+        assert max(gops) / min(gops) < 1.05
+
+    def test_dsps_never_exceed_device(self, result):
+        assert all(p.dsps <= 256 for p in result.points)
+
+
+class TestAccuracySweep:
+    def test_eight_bit_agrees_with_float(self, result):
+        point = next(a for a in result.accuracy if a.weight_bits == 8)
+        assert point.top1_agrees
+
+    def test_error_monotone_in_bits(self, result):
+        errors = {a.weight_bits: a.output_mse for a in result.accuracy}
+        assert errors[8] < errors[4]
+        assert errors[6] < errors[3]
+
+    def test_render(self, result):
+        text = result.render()
+        assert "bit-width" in text and "top-1" in text

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.model == "vgg16"
+        assert args.device == "Stratix-V GXA7"
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--model", "resnet"])
+
+
+class TestCommands:
+    def test_roofline(self, capsys):
+        assert main(["roofline"]) == 0
+        out = capsys.readouterr().out
+        assert "204.8" in out
+        assert "abm-spconv" in out
+
+    def test_simulate_alexnet(self, capsys):
+        assert main(["simulate", "--model", "alexnet"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "GOP/s" in out
+
+    def test_explore(self, capsys):
+        assert main(["explore", "--model", "vgg16"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal N_knl" in out
+        assert "top candidates" in out
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "--only", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "paper vs measured" in out
+
+    def test_experiments_unknown(self, capsys):
+        assert main(["experiments", "--only", "fig99"]) == 2
+
+    def test_experiments_extension_without_comparisons(self, capsys):
+        assert main(["experiments", "--only", "batch_bandwidth"]) == 0
+        out = capsys.readouterr().out
+        assert "compute-bound" in out
+
+    def test_system(self, capsys):
+        assert main(["system", "--model", "alexnet"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU hidden" in out
+        assert "pipeline gain" in out
+
+    def test_encode_roundtrip(self, capsys, tmp_path):
+        from repro.core import load_model
+
+        path = str(tmp_path / "model.abms")
+        assert main(["encode", "--model", "alexnet", "--out", path]) == 0
+        layers = load_model(path)
+        assert layers
+        assert all(layer.nonzero_count > 0 for layer in layers)

@@ -1,0 +1,38 @@
+"""Tests for the density-crossover extension experiment."""
+
+import pytest
+
+from repro.experiments import density_sweep
+
+
+@pytest.fixture(scope="module")
+def result():
+    return density_sweep.run(seed=1, densities=(0.2, 0.4, 0.6, 1.0))
+
+
+class TestDensitySweep:
+    def test_throughput_monotone_decreasing(self, result):
+        gops = [p.throughput_gops for p in result.points]
+        assert all(a > b for a, b in zip(gops, gops[1:]))
+
+    def test_mac_reduction_inverse_of_density(self, result):
+        for point in result.points:
+            assert point.mac_reduction == pytest.approx(1.0 / point.density, rel=0.02)
+
+    def test_crossover_exists(self, result):
+        assert result.crossover_density == 0.4
+        sparse = next(p for p in result.points if p.density == 0.2)
+        dense = next(p for p in result.points if p.density == 1.0)
+        assert sparse.beats(result.baseline_gops)
+        assert not dense.beats(result.baseline_gops)
+
+    def test_acc_mult_ratio_grows_with_density(self, result):
+        """Denser kernels saturate the codebook: more accumulates per
+        multiply — the factorization gets *relatively* cheaper."""
+        ratios = [p.acc_to_mult_ratio for p in result.points]
+        assert all(a < b for a, b in zip(ratios, ratios[1:]))
+
+    def test_render(self, result):
+        text = result.render()
+        assert "uniform-density sweep" in text
+        assert "throughput vs density" in text

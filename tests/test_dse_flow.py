@@ -1,0 +1,169 @@
+"""Tests for calibration, roofline and the exploration flow."""
+
+import pytest
+
+from repro.core.schemes import ConvScheme
+from repro.dse import (
+    DEFAULT_RESOURCE_MODEL,
+    DesignPoint,
+    RooflineModel,
+    SyntheticCompiler,
+    best_candidates,
+    characterization_suite,
+    explore,
+    fit_constants,
+    optimal_nknl,
+    size_buffers,
+    sweep_nknl,
+    sweep_sec_ncu,
+)
+from repro.hw import PAPER_CONFIG_VGG16, STRATIX_V_GXA7, AcceleratorConfig
+from repro.workloads import synthetic_model_workload
+
+
+@pytest.fixture(scope="module")
+def vgg_workload():
+    return synthetic_model_workload("vgg16", seed=1)
+
+
+class TestCalibration:
+    def test_fit_recovers_constants_noiseless(self):
+        compiler = SyntheticCompiler(STRATIX_V_GXA7, noise=0.0)
+        samples = compiler.characterize(
+            characterization_suite(AcceleratorConfig(3, 14, 4, 20))
+        )
+        fitted = fit_constants(samples)
+        truth = DEFAULT_RESOURCE_MODEL
+        assert fitted.c1 == pytest.approx(truth.c1, rel=0.02)
+        assert fitted.c4 == pytest.approx(truth.c4, rel=0.02)
+        assert fitted.c6 == pytest.approx(truth.c6, rel=0.02)
+        assert fitted.c7 == pytest.approx(truth.c7, rel=0.02)
+
+    def test_fit_with_noise_stays_close(self):
+        compiler = SyntheticCompiler(STRATIX_V_GXA7, noise=0.02, seed=7)
+        samples = compiler.characterize(
+            characterization_suite(AcceleratorConfig(3, 14, 4, 20))
+        )
+        fitted = fit_constants(samples)
+        assert fitted.c1 == pytest.approx(DEFAULT_RESOURCE_MODEL.c1, rel=0.15)
+
+    def test_fitted_model_predicts_paper_point(self):
+        compiler = SyntheticCompiler(STRATIX_V_GXA7, noise=0.02, seed=3)
+        samples = compiler.characterize(
+            characterization_suite(AcceleratorConfig(3, 14, 4, 20))
+        )
+        fitted = fit_constants(samples)
+        estimate = fitted.estimate(PAPER_CONFIG_VGG16)
+        truth = DEFAULT_RESOURCE_MODEL.estimate(PAPER_CONFIG_VGG16)
+        assert estimate.alms == pytest.approx(truth.alms, rel=0.05)
+        assert estimate.dsps == pytest.approx(truth.dsps, abs=6)
+
+    def test_too_few_samples(self):
+        compiler = SyntheticCompiler(STRATIX_V_GXA7)
+        samples = compiler.characterize([AcceleratorConfig(3, 14, 4, 20)])
+        with pytest.raises(ValueError):
+            fit_constants(samples)
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticCompiler(STRATIX_V_GXA7, noise=-0.1)
+
+
+class TestRoofline:
+    @pytest.fixture
+    def roofline(self):
+        return RooflineModel(STRATIX_V_GXA7, freq_mhz=200.0)
+
+    def test_fig1_roofs(self, roofline):
+        roofs = {roof.scheme: roof.gops for roof in roofline.roofs()}
+        assert roofs[ConvScheme.SDCONV] == pytest.approx(204.8)
+        assert roofs[ConvScheme.FDCONV] == pytest.approx(675, rel=0.01)
+        assert roofs[ConvScheme.ABM_SPCONV] == pytest.approx(1046, rel=0.01)
+
+    def test_spconv_shares_fdconv_roof(self, roofline):
+        assert roofline.roof_for(ConvScheme.SPCONV).gops == pytest.approx(
+            roofline.roof_for(ConvScheme.FDCONV).gops
+        )
+
+    def test_bandwidth_roof(self, roofline):
+        assert roofline.bandwidth_roof(10.0) == pytest.approx(128.0)
+        with pytest.raises(ValueError):
+            roofline.bandwidth_roof(0.0)
+
+    def test_attainable_is_min(self, roofline):
+        # Low intensity -> bandwidth-bound; high intensity -> compute-bound.
+        assert roofline.attainable(ConvScheme.ABM_SPCONV, 1.0) == pytest.approx(12.8)
+        assert roofline.attainable(ConvScheme.ABM_SPCONV, 1000.0) == pytest.approx(
+            roofline.roof_for(ConvScheme.ABM_SPCONV).gops
+        )
+
+    def test_headroom_and_render(self, roofline):
+        point = DesignPoint("x", ConvScheme.FDCONV, 300.0)
+        assert roofline.headroom(point) == pytest.approx(300 / 675.8, rel=0.01)
+        text = roofline.render((point,))
+        assert "fdconv" in text and "x" in text
+
+
+class TestExplorationFlow:
+    def test_nknl_optimum_in_paper_plateau(self, vgg_workload):
+        """The paper picks 14; our models put the optimum in 11..15, with
+        the DSP constraint capping the feasible range at 15."""
+        points = sweep_nknl(
+            vgg_workload, DEFAULT_RESOURCE_MODEL, n_share=4, device=STRATIX_V_GXA7
+        )
+        best = optimal_nknl(points)
+        assert 11 <= best <= 15
+        feasible = [p.n_knl for p in points if p.feasible]
+        assert max(feasible) == 15
+
+    def test_nknl_boost_has_interior_maximum(self, vgg_workload):
+        points = sweep_nknl(
+            vgg_workload, DEFAULT_RESOURCE_MODEL, n_share=4, device=STRATIX_V_GXA7
+        )
+        boosts = [p.normalized_boost for p in points if p.feasible]
+        assert max(boosts) > boosts[0]  # overhead amortization helps early on
+
+    def test_grid_constraints(self, vgg_workload):
+        grid = sweep_sec_ncu(
+            vgg_workload, STRATIX_V_GXA7, DEFAULT_RESOURCE_MODEL, n_knl=14, n_share=4
+        )
+        for point in grid:
+            if point.feasible:
+                assert point.utilization.logic <= 0.75
+                assert point.utilization.dsp <= 1.0
+                assert point.utilization.memory <= 1.0
+        assert any(p.feasible for p in grid)
+        assert any(not p.feasible for p in grid)
+
+    def test_paper_point_near_best(self, vgg_workload):
+        """(S_ec=20, N_cu=3) must be feasible and within 10% of the best."""
+        grid = sweep_sec_ncu(
+            vgg_workload, STRATIX_V_GXA7, DEFAULT_RESOURCE_MODEL, n_knl=14, n_share=4
+        )
+        paper = next(p for p in grid if p.s_ec == 20 and p.n_cu == 3)
+        assert paper.feasible
+        best = best_candidates(grid, count=1)[0]
+        assert paper.throughput_gops >= 0.9 * best.throughput_gops
+
+    def test_full_explore(self, vgg_workload):
+        result = explore(vgg_workload, STRATIX_V_GXA7)
+        assert result.n_share == 4
+        assert 11 <= result.chosen_n_knl <= 15
+        assert result.candidates
+        assert result.chosen.n_cu >= 1
+        assert result.performance.throughput_gops > 662  # beats FDConv [3]
+        assert result.bandwidth.compute_bound
+
+    def test_buffer_sizing_matches_paper_vgg(self, vgg_workload):
+        """D_w=2048 and D_q=128 are the paper's VGG16 depths."""
+        buffers = size_buffers(vgg_workload, s_ec=20)
+        assert buffers.d_w == 2048
+        assert buffers.d_q == 128
+        assert buffers.d_f >= 25088 // 20  # FC6 input must fit
+
+    def test_explore_infeasible_device_raises(self, vgg_workload):
+        from repro.hw.device import FPGADevice
+
+        tiny = FPGADevice("tiny", alms=5000, dsps=4, m20k_blocks=8, bandwidth_gbs=1.0)
+        with pytest.raises((RuntimeError, ValueError)):
+            explore(vgg_workload, tiny)

@@ -1,0 +1,82 @@
+"""Tests for the batch executor."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Executor
+
+
+@pytest.fixture
+def executor(tiny_architecture):
+    return Executor(tiny_architecture.build(seed=7))
+
+
+class TestBatchRuns:
+    def test_single_image_promoted(self, executor, rng):
+        image = rng.normal(size=executor.network.input_shape.as_tuple())
+        result = executor.run(image)
+        assert result.outputs.shape == (1, 10, 1, 1)
+
+    def test_batch_matches_sequential(self, executor, rng):
+        batch = rng.normal(size=(3,) + executor.network.input_shape.as_tuple())
+        result = executor.run(batch)
+        for i in range(3):
+            assert np.allclose(result.outputs[i], executor.network.forward(batch[i]))
+
+    def test_bad_shape_rejected(self, executor):
+        with pytest.raises(ValueError):
+            executor.run(np.zeros((2, 3, 5, 5)))
+
+    def test_throughput_metric(self, executor, rng):
+        batch = rng.normal(size=(2,) + executor.network.input_shape.as_tuple())
+        result = executor.run(batch)
+        assert result.images_per_second > 0
+
+
+class TestTopK:
+    def test_top1_is_argmax(self, executor, rng):
+        batch = rng.normal(size=(4,) + executor.network.input_shape.as_tuple())
+        result = executor.run(batch)
+        expected = [int(np.argmax(result.outputs[i])) for i in range(4)]
+        assert result.top_1().tolist() == expected
+
+    def test_topk_ordering(self, executor, rng):
+        batch = rng.normal(size=(2,) + executor.network.input_shape.as_tuple())
+        result = executor.run(batch)
+        top = result.top_k(3)
+        flat = result.outputs.reshape(2, -1)
+        for i in range(2):
+            values = flat[i, top[i]]
+            assert np.all(np.diff(values) <= 0)
+
+    def test_k_bounds(self, executor, rng):
+        image = rng.normal(size=executor.network.input_shape.as_tuple())
+        result = executor.run(image)
+        with pytest.raises(ValueError):
+            result.top_k(0)
+        with pytest.raises(ValueError):
+            result.top_k(11)
+
+
+class TestProfiling:
+    def test_profiles_cover_all_layers(self, executor, rng):
+        image = rng.normal(size=executor.network.input_shape.as_tuple())
+        result = executor.profile(image)
+        assert len(result.profiles) == len(executor.network)
+        assert all(p.seconds >= 0 for p in result.profiles)
+
+    def test_profiled_output_matches_plain_run(self, executor, rng):
+        image = rng.normal(size=executor.network.input_shape.as_tuple())
+        assert np.allclose(
+            executor.profile(image).outputs, executor.run(image).outputs
+        )
+
+    def test_accelerated_fraction_dominates(self, executor, rng):
+        """Conv/FC dominate CPU time — the motivation for the offload."""
+        batch = rng.normal(size=(3,) + executor.network.input_shape.as_tuple())
+        result = executor.profile(batch)
+        fraction = Executor.accelerated_fraction(result.profiles)
+        assert fraction > 0.5
+
+    def test_accelerated_fraction_empty(self):
+        assert Executor.accelerated_fraction(()) == 0.0

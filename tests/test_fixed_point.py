@@ -1,0 +1,136 @@
+"""Tests for repro.quant.fixed_point."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.fixed_point import (
+    ROUND_EVEN,
+    ROUND_FLOOR,
+    ROUND_NEAREST,
+    QFormat,
+    best_frac_bits,
+    fit_qformat,
+)
+
+
+class TestQFormat:
+    def test_ranges_8bit(self):
+        fmt = QFormat(8, 0)
+        assert fmt.min_code == -128
+        assert fmt.max_code == 127
+        assert fmt.min_value == -128.0
+        assert fmt.max_value == 127.0
+        assert fmt.num_codes == 256
+
+    def test_fractional_scale(self):
+        fmt = QFormat(8, 4)
+        assert fmt.scale == pytest.approx(1 / 16)
+        assert fmt.max_value == pytest.approx(127 / 16)
+
+    def test_negative_frac_bits_allowed(self):
+        fmt = QFormat(8, -2)
+        assert fmt.scale == 4.0
+        assert fmt.quantize(8.0)[()] == 2
+
+    def test_int_bits(self):
+        assert QFormat(8, 4).int_bits == 3
+        assert QFormat(16, 15).int_bits == 0
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            QFormat(1, 0)
+
+    def test_quantize_rounds_nearest(self):
+        fmt = QFormat(8, 0)
+        assert fmt.quantize(2.5)[()] == 3  # half away from zero
+        assert fmt.quantize(-2.5)[()] == -3
+        assert fmt.quantize(2.4)[()] == 2
+
+    def test_quantize_floor_mode(self):
+        fmt = QFormat(8, 0)
+        assert fmt.quantize(2.9, rounding=ROUND_FLOOR)[()] == 2
+        assert fmt.quantize(-2.1, rounding=ROUND_FLOOR)[()] == -3
+
+    def test_quantize_even_mode(self):
+        fmt = QFormat(8, 0)
+        assert fmt.quantize(2.5, rounding=ROUND_EVEN)[()] == 2
+        assert fmt.quantize(3.5, rounding=ROUND_EVEN)[()] == 4
+
+    def test_unknown_rounding_rejected(self):
+        with pytest.raises(ValueError):
+            QFormat(8, 0).quantize(1.0, rounding="stochastic")
+
+    def test_saturation(self):
+        fmt = QFormat(8, 0)
+        assert fmt.quantize(1000.0)[()] == 127
+        assert fmt.quantize(-1000.0)[()] == -128
+
+    def test_saturates_mask(self):
+        fmt = QFormat(8, 0)
+        mask = fmt.saturates(np.array([0.0, 127.0, 127.6, -128.0, -129.0]))
+        assert mask.tolist() == [False, False, True, False, True]
+
+    def test_dequantize_inverse_on_codes(self):
+        fmt = QFormat(8, 3)
+        codes = np.arange(fmt.min_code, fmt.max_code + 1)
+        assert np.array_equal(fmt.quantize(fmt.dequantize(codes)), codes)
+
+    @given(
+        st.floats(min_value=-7.9, max_value=7.9),
+        st.integers(min_value=4, max_value=16),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_error_within_half_lsb(self, value, total_bits):
+        fmt = QFormat(total_bits, total_bits - 1 - 3)  # 3 integer bits
+        if fmt.saturates(value):
+            return  # out-of-range values clip, by design
+        recovered = fmt.roundtrip(value)[()]
+        assert abs(recovered - value) <= fmt.scale / 2 + 1e-12
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_quantize_is_monotone(self, values):
+        fmt = QFormat(8, 2)
+        arr = np.sort(np.asarray(values))
+        codes = fmt.quantize(arr)
+        assert np.all(np.diff(codes) >= 0)
+
+
+class TestFitQFormat:
+    def test_zero_tensor_gets_max_precision(self):
+        assert best_frac_bits(np.zeros(4), 8) == 7
+
+    def test_unit_range(self):
+        fmt = fit_qformat(np.array([0.9, -0.5]), 8)
+        assert not fmt.saturates(0.9)
+        assert not fmt.saturates(-0.9)
+        assert fmt.frac_bits == 7
+
+    def test_larger_range_gets_integer_bits(self):
+        fmt = fit_qformat(np.array([5.0, -3.0]), 8)
+        assert not fmt.saturates(5.0)
+        # 5.0 needs 3 integer bits -> frac = 8 - 1 - 3
+        assert fmt.frac_bits == 4
+
+    def test_power_of_two_edge(self):
+        fmt = fit_qformat(np.array([1.0]), 8)
+        assert not fmt.saturates(1.0)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    @settings(max_examples=200, deadline=None)
+    def test_fit_never_saturates_the_peak(self, peak):
+        fmt = fit_qformat(np.array([peak, -peak]), 8)
+        assert not fmt.saturates(peak)
+        assert not fmt.saturates(-peak)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    @settings(max_examples=100, deadline=None)
+    def test_fit_is_tight(self, peak):
+        """One fewer integer bit would saturate (format wastes no range)."""
+        fmt = fit_qformat(np.array([peak]), 8)
+        tighter = QFormat(8, fmt.frac_bits + 1)
+        assert tighter.saturates(peak) or peak <= tighter.max_value
+        # the chosen format covers the peak...
+        assert peak <= fmt.max_value + 1e-9

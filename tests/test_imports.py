@@ -1,0 +1,43 @@
+"""Import-order regression tests.
+
+Circular imports only bite for *some* entry points, so each public
+subpackage is imported first in a fresh interpreter — the way an example
+script or a downstream user would.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+ENTRY_POINTS = (
+    "repro",
+    "repro.core",
+    "repro.nn",
+    "repro.nn.models",
+    "repro.nn.graph",
+    "repro.quant",
+    "repro.prune",
+    "repro.hw",
+    "repro.dse",
+    "repro.baselines",
+    "repro.workloads",
+    "repro.system",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.pipeline",
+    "repro.deploy",
+    "repro.runtime",
+    "repro.cli",
+)
+
+
+@pytest.mark.parametrize("module", ENTRY_POINTS)
+def test_fresh_import(module):
+    """Each subpackage imports cleanly as the first touch of the library."""
+    result = subprocess.run(
+        [sys.executable, "-c", f"import {module}"],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr

@@ -1,0 +1,113 @@
+"""Tests for the encoded-model binary format."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    SerializationError,
+    decode_layer,
+    dumps,
+    encode_layer,
+    load_model,
+    loads,
+    save_model,
+)
+from tests.conftest import sparse_weight_codes
+
+
+@pytest.fixture
+def layers(rng):
+    return [
+        encode_layer("conv1", sparse_weight_codes(rng, shape=(4, 3, 3, 3))),
+        encode_layer("fc2", sparse_weight_codes(rng, shape=(6, 16, 1, 1), density=0.2)),
+    ]
+
+
+class TestRoundTrip:
+    def test_bytes_roundtrip(self, layers):
+        blob = dumps(layers)
+        recovered = loads(blob)
+        assert [l.name for l in recovered] == ["conv1", "fc2"]
+        for original, restored in zip(layers, recovered):
+            assert np.array_equal(decode_layer(original), decode_layer(restored))
+
+    def test_file_roundtrip(self, layers, tmp_path):
+        path = str(tmp_path / "model.abms")
+        size = save_model(layers, path)
+        assert size > 0
+        recovered = load_model(path)
+        assert np.array_equal(decode_layer(recovered[0]), decode_layer(layers[0]))
+
+    def test_blob_size_tracks_encoding(self, layers):
+        """The wire format carries the hardware widths: ~2 bytes per entry."""
+        blob = dumps(layers)
+        payload = sum(l.encoded_bytes for l in layers)
+        # Header overhead is small and bounded.
+        assert payload <= len(blob) <= payload + 64 + 2 * sum(
+            l.qtable_entries for l in layers
+        )
+
+    @given(
+        hnp.arrays(
+            dtype=np.int64,
+            shape=st.tuples(st.integers(1, 4), st.integers(1, 3), st.just(3), st.just(3)),
+            elements=st.integers(-8, 8),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, codes):
+        if not codes.any():
+            codes[0, 0, 0, 0] = 1  # fully-empty kernels are legal; keep variety
+        layer = encode_layer("p", codes)
+        recovered = loads(dumps([layer]))[0]
+        assert np.array_equal(decode_layer(recovered), codes)
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError):
+            loads(b"NOPE" + b"\x00" * 16)
+
+    def test_truncated_header(self):
+        with pytest.raises(SerializationError):
+            loads(b"ABMS\x01")
+
+    def test_wrong_version(self, layers):
+        blob = bytearray(dumps(layers))
+        blob[4] = 99
+        with pytest.raises(SerializationError):
+            loads(bytes(blob))
+
+    def test_truncated_stream(self, layers):
+        blob = dumps(layers)
+        with pytest.raises(SerializationError):
+            loads(blob[: len(blob) - 3])
+
+    def test_corrupted_qtable_count_detected(self, layers):
+        """A count that no longer matches the stream must not decode."""
+        blob = bytearray(dumps(layers))
+        # Locate the first kernel's total-count field and inflate it.
+        offset = 4 + 4 + 1 + len("conv1") + 16
+        blob[offset] = 0xFF
+        blob[offset + 1] = 0xFF
+        with pytest.raises(SerializationError):
+            loads(bytes(blob))
+
+    def test_empty_layer_rejected(self):
+        from repro.core.encoding import EncodedLayer
+
+        with pytest.raises(SerializationError):
+            dumps([EncodedLayer(name="empty", kernels=())])
+
+    def test_stream_write_read(self, layers):
+        from repro.core import dump_layers, load_layers
+
+        buffer = io.BytesIO()
+        dump_layers(layers, buffer)
+        buffer.seek(0)
+        assert [l.name for l in load_layers(buffer)] == ["conv1", "fc2"]

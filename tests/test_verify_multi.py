@@ -1,0 +1,84 @@
+"""Tests for the differential verifier and joint exploration."""
+
+import numpy as np
+import pytest
+
+from repro.core import verify_schemes
+from repro.core.verify import random_trial_config, run_trial
+from repro.dse import explore_joint
+from repro.hw import STRATIX_V_GXA7
+from repro.workloads import synthetic_model_workload
+
+
+class TestDifferentialVerifier:
+    def test_campaign_passes(self):
+        report = verify_schemes(trials=150, seed=7)
+        assert report.passed
+        assert report.trials == 150
+        assert "PASS" in report.render()
+
+    def test_trial_configs_are_valid(self):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            config = random_trial_config(rng)
+            assert config.in_channels % config.groups == 0
+            assert config.out_channels % config.groups == 0
+            assert config.size >= config.kernel
+
+    def test_single_trial_returns_none_on_pass(self):
+        rng = np.random.default_rng(11)
+        config = random_trial_config(rng)
+        assert run_trial(config, rng) is None
+
+    def test_trials_validation(self):
+        with pytest.raises(ValueError):
+            verify_schemes(trials=0)
+
+    def test_seed_determinism(self):
+        a = verify_schemes(trials=20, seed=5)
+        b = verify_schemes(trials=20, seed=5)
+        assert a.passed == b.passed
+        assert a.trials == b.trials
+
+
+class TestJointExploration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        workloads = [
+            synthetic_model_workload("alexnet", seed=1),
+            synthetic_model_workload("vgg16", seed=1),
+        ]
+        return explore_joint(workloads, STRATIX_V_GXA7)
+
+    def test_serves_both_models(self, result):
+        assert set(result.models) == {"alexnet", "vgg16"}
+        for model in result.models:
+            assert result.chosen.throughput[model] > 0
+
+    def test_maxmin_objective(self, result):
+        """The chosen point's worst normalized throughput beats (or ties)
+        every other jointly feasible candidate's."""
+        for candidate in result.candidates:
+            assert (
+                result.candidates[0].worst_normalized
+                >= candidate.worst_normalized - 1e-9
+            )
+
+    def test_near_solo_performance(self, result):
+        """One shared bitstream costs each model only a modest slice."""
+        for model in result.models:
+            assert result.chosen.normalized[model] > 0.8
+
+    def test_buffers_cover_both(self, result):
+        # VGG16's FC6 needs the deepest FT-Buffer; the joint config must
+        # carry it even if AlexNet alone would not.
+        assert result.chosen.config.d_f * result.chosen.config.s_ec >= 25088
+
+    def test_render(self, result):
+        text = result.render()
+        assert "joint exploration" in text
+        assert "vgg16" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            explore_joint([], STRATIX_V_GXA7)

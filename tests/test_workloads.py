@@ -1,0 +1,165 @@
+"""Tests for the calibrated synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import conv_spec
+from repro.hw.workload import KernelWork, ModelWorkload, workload_from_arrays
+from repro.prune import deep_compression_schedule
+from repro.workloads import (
+    codebook_size,
+    codebook_sizes,
+    codebook_values,
+    expected_distinct,
+    synthesize_layer_stats,
+    synthesize_quantized_layer,
+    synthetic_feature_codes,
+    synthetic_model_workload,
+)
+from repro.workloads.paper_targets import TABLE1_ROWS
+
+
+class TestCodebooks:
+    def test_table1_layers_have_exact_calibration(self):
+        books = codebook_sizes("vgg16")
+        assert books["conv1_1"] == 4
+        assert books["conv4_2"] == 20
+        assert books["fc6"] == 9
+
+    def test_unknown_layer_gets_default(self):
+        assert codebook_size("vgg16", "conv99") == 24
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            codebook_sizes("lenet")
+
+    def test_codebook_values_distinct_nonzero(self):
+        for size in (1, 2, 5, 9, 20, 39):
+            values = codebook_values(size)
+            assert values.size == size
+            assert np.unique(values).size == size
+            assert 0 not in values
+            assert np.all(np.abs(values) <= 127)
+
+    def test_expected_distinct_saturates(self):
+        assert expected_distinct(1e6, 20) == pytest.approx(20, rel=1e-6)
+        assert expected_distinct(0, 20) == 0.0
+
+
+class TestSynthesizeStats:
+    def test_density_matches_target(self, rng):
+        spec = conv_spec("c", 512, 256, kernel=3, in_rows=14, in_cols=14, padding=1)
+        nonzeros, distinct = synthesize_layer_stats(spec, 0.3, 20, rng)
+        assert nonzeros.mean() == pytest.approx(0.3 * spec.weights_per_kernel, rel=0.02)
+        assert np.all(distinct <= np.minimum(nonzeros, 20))
+
+    def test_distinct_matches_expectation(self, rng):
+        spec = conv_spec("c", 512, 400, kernel=3, in_rows=8, in_cols=8, padding=1)
+        nonzeros, distinct = synthesize_layer_stats(spec, 0.27, 20, rng)
+        predicted = expected_distinct(float(nonzeros.mean()), 20)
+        assert distinct.mean() == pytest.approx(predicted, rel=0.03)
+
+    def test_zero_density(self, rng):
+        spec = conv_spec("c", 4, 8, kernel=3, in_rows=8, in_cols=8)
+        nonzeros, distinct = synthesize_layer_stats(spec, 0.0, 20, rng)
+        assert not nonzeros.any()
+        assert not distinct.any()
+
+    def test_invalid_density(self, rng):
+        spec = conv_spec("c", 4, 8, kernel=3, in_rows=8, in_cols=8)
+        with pytest.raises(ValueError):
+            synthesize_layer_stats(spec, 1.2, 20, rng)
+
+
+class TestModelWorkload:
+    @pytest.fixture(scope="class")
+    def vgg(self):
+        return synthetic_model_workload("vgg16", seed=1)
+
+    def test_deterministic(self):
+        a = synthetic_model_workload("vgg16", seed=5)
+        b = synthetic_model_workload("vgg16", seed=5)
+        assert a.accumulate_ops == b.accumulate_ops
+        assert a.multiply_ops == b.multiply_ops
+
+    def test_seed_sensitivity(self):
+        a = synthetic_model_workload("alexnet", seed=5)
+        b = synthetic_model_workload("alexnet", seed=6)
+        assert a.accumulate_ops != b.accumulate_ops
+
+    def test_vgg_accumulates_match_table1(self, vgg):
+        """Table 1 'Entire CNN': ABM Acc = 5,040 MOP."""
+        assert vgg.accumulate_ops / 1e6 == pytest.approx(5040, rel=0.01)
+
+    def test_vgg_table1_per_layer_acc(self, vgg):
+        for name, row in TABLE1_ROWS.items():
+            layer = vgg.layer(name)
+            assert layer.accumulate_ops / 1e6 == pytest.approx(
+                row.abm_acc_mop, rel=0.05
+            ), name
+
+    def test_vgg_table1_per_layer_mult(self, vgg):
+        for name, row in TABLE1_ROWS.items():
+            layer = vgg.layer(name)
+            assert layer.multiply_ops / 1e6 == pytest.approx(
+                row.abm_mult_mop, rel=0.10
+            ), name
+
+    def test_densities_follow_schedule(self, vgg):
+        schedule = deep_compression_schedule("vgg16")
+        for layer in vgg.layers:
+            assert layer.density == pytest.approx(
+                schedule.density(layer.spec.name), rel=0.03
+            )
+
+    def test_layer_lookup(self, vgg):
+        assert vgg.layer("conv4_2").spec.name == "conv4_2"
+        with pytest.raises(KeyError):
+            vgg.layer("conv0_0")
+
+    def test_encoded_bytes_reasonable(self, vgg):
+        """Encoded VGG16 lands near Table 3's 26.4 MB."""
+        assert vgg.encoded_bytes / 1e6 == pytest.approx(26.4, rel=0.25)
+
+
+class TestConcreteTensors:
+    def test_quantized_layer_statistics(self, rng):
+        spec = conv_spec("c", 64, 32, kernel=3, in_rows=8, in_cols=8, padding=1)
+        codes = synthesize_quantized_layer(spec, 0.3, 20, rng)
+        assert codes.shape == spec.weight_shape()
+        density = np.count_nonzero(codes) / codes.size
+        assert density == pytest.approx(0.3, abs=0.01)
+        distinct = np.unique(codes[codes != 0])
+        assert distinct.size <= 20
+
+    def test_feature_codes_range(self, rng):
+        codes = synthetic_feature_codes((3, 8, 8), rng)
+        assert codes.min() >= -128
+        assert codes.max() <= 127
+        assert codes.dtype == np.int64
+
+
+class TestWorkloadValidation:
+    def test_kernel_work_validation(self):
+        with pytest.raises(ValueError):
+            KernelWork(nonzeros=2, distinct_values=3)
+        with pytest.raises(ValueError):
+            KernelWork(nonzeros=-1, distinct_values=0)
+
+    def test_layer_workload_length_check(self):
+        spec = conv_spec("c", 4, 8, kernel=3, in_rows=8, in_cols=8)
+        with pytest.raises(ValueError):
+            workload_from_arrays(spec, [3, 3], [1, 1])  # 2 items, 8 kernels
+
+    def test_derived_encoded_bytes(self):
+        spec = conv_spec("c", 4, 2, kernel=3, in_rows=8, in_cols=8)
+        workload = workload_from_arrays(spec, [10, 4], [3, 2])
+        # 2B header + 2B per q entry + 2B per index, per kernel.
+        assert workload.encoded_bytes == (2 + 6 + 20) + (2 + 4 + 8)
+
+    def test_model_workload_aggregates(self):
+        spec = conv_spec("c", 4, 2, kernel=3, in_rows=8, in_cols=8)
+        layer = workload_from_arrays(spec, [10, 4], [3, 2])
+        model = ModelWorkload(name="m", layers=(layer,))
+        assert model.accumulate_ops == layer.accumulate_ops
+        assert model.dense_ops == spec.dense_ops
