@@ -9,6 +9,8 @@ Commands
 - ``explore --model {alexnet,vgg16}`` — run the design-space exploration
   flow and print the chosen configuration.
 - ``roofline`` — print the Figure 1 roofline for a device.
+- ``serve-sim --model {lenet,cifarnet}`` — simulate batched serving across
+  a pool of accelerator instances and print the latency/throughput report.
 """
 
 from __future__ import annotations
@@ -135,6 +137,82 @@ def _cmd_system(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    """Simulate batched serving across a pool of accelerator instances."""
+    import numpy as np
+
+    from .nn.models import get_architecture
+    from .pipeline import QuantizedPipeline
+    from .prune import uniform_schedule
+    from .serve import (
+        BatchPolicy,
+        DeploymentCache,
+        ServingSimulator,
+        build_worker_pool,
+        make_requests,
+        poisson_arrivals,
+    )
+    from .workloads.images import natural_image
+
+    # Validate the serving shape before the (slow) pipeline build.
+    if args.workers < 1:
+        print("serve-sim: --workers must be >= 1")
+        return 2
+    if args.requests < 1:
+        print("serve-sim: --requests must be >= 1")
+        return 2
+    if args.max_batch < 1:
+        print("serve-sim: --max-batch must be >= 1")
+        return 2
+    if args.max_wait_ms < 0:
+        print("serve-sim: --max-wait-ms cannot be negative")
+        return 2
+    if args.rate <= 0:
+        print("serve-sim: --rate must be positive")
+        return 2
+
+    architecture = get_architecture(args.model)
+    network = architecture.build(seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    shape = network.input_shape.as_tuple()
+    pipeline = QuantizedPipeline(network)
+    names = [layer.name for layer in network.accelerated_layers()]
+    pipeline.prune(uniform_schedule(names, args.density).densities)
+    pipeline.calibrate(natural_image(shape, rng))
+    pipeline.quantize()
+    cache = DeploymentCache()
+    pool = build_worker_pool(
+        pipeline,
+        architecture.accelerated_specs(),
+        args.workers,
+        device=get_device(args.device),
+        cache=cache,
+    )
+    images = [natural_image(shape, rng) for _ in range(args.requests)]
+    arrivals = poisson_arrivals(args.requests, args.rate, rng)
+    requests = make_requests(images, arrivals)
+    policy = BatchPolicy(
+        max_batch=args.max_batch, max_wait_s=args.max_wait_ms * 1e-3
+    )
+    report = ServingSimulator(pool, policy).run(requests)
+    print(
+        f"serving simulation — {args.model} on {args.workers} simulated "
+        f"accelerator instance(s)"
+    )
+    print(
+        f"policy:          max batch {policy.max_batch}, "
+        f"max wait {args.max_wait_ms:g} ms, "
+        f"offered load {args.rate:g} req/s (Poisson)"
+    )
+    print(report.stats.render())
+    info = cache.info()
+    print(
+        f"model cache:     {info.size} deployment(s), "
+        f"{info.hits} hits / {info.misses} misses"
+    )
+    return 0
+
+
 def _cmd_encode(args: argparse.Namespace) -> int:
     """Encode a synthetic pruned model and write the deployment blob."""
     import numpy as np
@@ -219,6 +297,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_sys.add_argument("--host-gops", type=float, default=4.0,
                        help="host elementwise rate in Gops/s")
     p_sys.set_defaults(func=_cmd_system)
+
+    p_srv = sub.add_parser(
+        "serve-sim", help="simulate batched multi-accelerator serving"
+    )
+    p_srv.add_argument(
+        "--model",
+        choices=("lenet", "cifarnet"),
+        default="lenet",
+        help="small zoo members run the full functional pipeline",
+    )
+    p_srv.add_argument("--device", default="Stratix-V GXA7")
+    p_srv.add_argument("--workers", type=int, default=2,
+                       help="simulated accelerator instances")
+    p_srv.add_argument("--requests", type=int, default=32)
+    p_srv.add_argument("--rate", type=float, default=50_000.0,
+                       help="offered load in requests/s (Poisson)")
+    p_srv.add_argument("--max-batch", type=int, default=8)
+    p_srv.add_argument("--max-wait-ms", type=float, default=0.2,
+                       help="dynamic batcher deadline")
+    p_srv.add_argument("--density", type=float, default=0.4,
+                       help="uniform pruning density before quantization")
+    p_srv.set_defaults(func=_cmd_serve_sim)
 
     p_enc = sub.add_parser("encode", help="write an encoded-model blob")
     p_enc.add_argument("--model", choices=("alexnet", "vgg16"), default="alexnet")

@@ -14,7 +14,7 @@ model for the CPU layers — the two-stage pipelined system of Section 6.1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -123,6 +123,31 @@ class SystemRuntime:
             executed_ops=functional.total_ops,
             dense_ops=simulation.dense_ops,
         )
+
+    def infer_batch(self, images: Sequence[np.ndarray]) -> List[RuntimeOutcome]:
+        """Run a batch image-by-image; numerically identical to infer()."""
+        if len(images) == 0:
+            raise ValueError("batch must contain at least one image")
+        return [self.infer(image) for image in images]
+
+    def batch_seconds(self, batch_size: int) -> float:
+        """Simulated service time of one batch on this accelerator.
+
+        Generalizes the paper's two-stage CPU/FPGA pipeline (Section 6.1)
+        to a batch of B images: the first image fills both stages, the
+        remaining B-1 stream at the slower stage's rate, and the last
+        image's host stage drains after its FPGA stage —
+
+            T(B) = fpga + host + (B - 1) * max(fpga, host)
+
+        so T(1) is the sequential per-image time and the marginal cost of
+        an extra batched image is the pipelined per-image time.
+        """
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        fpga = self.simulation.seconds_per_image
+        host = self.host_model.seconds_per_image(self.pipeline.network)
+        return fpga + host + (batch_size - 1) * max(fpga, host)
 
     def latency_breakdown(self) -> Tuple[Tuple[str, float], ...]:
         """(layer, milliseconds) for every accelerated layer, in order."""

@@ -1,0 +1,45 @@
+"""Batched multi-accelerator serving runtime (simulated).
+
+Grows the single-image :class:`repro.runtime.SystemRuntime` into a serving
+system: a request queue with a dynamic batcher, a pool of N simulated
+accelerator instances, an LRU cache of deployed models, and serving
+telemetry. See ``docs/serving.md``.
+"""
+
+from .batcher import (
+    Batch,
+    BatchPolicy,
+    ServeRequest,
+    form_batches,
+    make_requests,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from .cache import CacheInfo, DeploymentCache, LRUCache, deployment_key
+from .simulator import (
+    BatchTrace,
+    ServeReport,
+    ServingSimulator,
+    build_worker_pool,
+)
+from .stats import ServeResponse, ServeStats
+
+__all__ = [
+    "Batch",
+    "BatchPolicy",
+    "BatchTrace",
+    "CacheInfo",
+    "DeploymentCache",
+    "LRUCache",
+    "ServeReport",
+    "ServeRequest",
+    "ServeResponse",
+    "ServeStats",
+    "ServingSimulator",
+    "build_worker_pool",
+    "deployment_key",
+    "form_batches",
+    "make_requests",
+    "poisson_arrivals",
+    "uniform_arrivals",
+]

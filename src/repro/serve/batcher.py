@@ -1,0 +1,140 @@
+"""Request queue and dynamic batcher for the serving simulator.
+
+The batcher implements the standard serving trade-off between latency and
+occupancy: requests accumulate in an open batch until either the batch
+reaches ``max_batch`` images (close immediately — the accelerator's
+``S_ec`` feature-buffer lanes are full) or the *oldest* queued request has
+waited ``max_wait_s`` (close on deadline so tail latency stays bounded).
+Batch formation is a pure function of the arrival sequence and the policy,
+which is what makes the invariants directly testable:
+
+- no batch ever exceeds ``max_batch`` requests,
+- no request waits in the queue past ``max_wait_s`` before dispatch,
+- every request appears in exactly one batch, in arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Dynamic-batching knobs: size cap and queueing-delay cap."""
+
+    max_batch: int = 8
+    max_wait_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s cannot be negative")
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One inference request: an image and its (virtual) arrival time."""
+
+    request_id: int
+    arrival_s: float
+    image: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival time cannot be negative")
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A closed batch: the requests plus the virtual time it was sealed."""
+
+    requests: Tuple[ServeRequest, ...]
+    close_s: float
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("a batch cannot be empty")
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def first_arrival_s(self) -> float:
+        return self.requests[0].arrival_s
+
+    @property
+    def queue_span_s(self) -> float:
+        """How long the oldest request sat queued before the batch closed."""
+        return self.close_s - self.first_arrival_s
+
+
+def form_batches(
+    requests: Sequence[ServeRequest], policy: BatchPolicy
+) -> List[Batch]:
+    """Group requests into dispatch batches under a batching policy.
+
+    A batch closes the instant its ``max_batch``-th request arrives, or at
+    ``first_arrival + max_wait_s`` when the next request would arrive too
+    late (including the trailing partial batch once arrivals stop).
+    """
+    ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+    batches: List[Batch] = []
+    open_batch: List[ServeRequest] = []
+    for request in ordered:
+        if open_batch:
+            deadline = open_batch[0].arrival_s + policy.max_wait_s
+            if request.arrival_s > deadline:
+                batches.append(Batch(tuple(open_batch), close_s=deadline))
+                open_batch = []
+        open_batch.append(request)
+        if len(open_batch) >= policy.max_batch:
+            batches.append(Batch(tuple(open_batch), close_s=request.arrival_s))
+            open_batch = []
+    if open_batch:
+        batches.append(
+            Batch(
+                tuple(open_batch),
+                close_s=open_batch[0].arrival_s + policy.max_wait_s,
+            )
+        )
+    return batches
+
+
+def poisson_arrivals(
+    count: int, rate_rps: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Arrival times (seconds) of a Poisson process at ``rate_rps``."""
+    if count < 1:
+        raise ValueError("need at least one arrival")
+    if rate_rps <= 0:
+        raise ValueError("arrival rate must be positive")
+    gaps = rng.exponential(scale=1.0 / rate_rps, size=count)
+    return np.cumsum(gaps)
+
+
+def uniform_arrivals(count: int, rate_rps: float) -> np.ndarray:
+    """Deterministic, evenly spaced arrivals at ``rate_rps``."""
+    if count < 1:
+        raise ValueError("need at least one arrival")
+    if rate_rps <= 0:
+        raise ValueError("arrival rate must be positive")
+    return np.arange(count) / rate_rps
+
+
+def make_requests(
+    images: Sequence[np.ndarray], arrivals: Sequence[float]
+) -> List[ServeRequest]:
+    """Pair images with arrival times into a request stream."""
+    if len(images) != len(arrivals):
+        raise ValueError(
+            f"{len(images)} images for {len(arrivals)} arrival times"
+        )
+    return [
+        ServeRequest(request_id=i, arrival_s=float(t), image=np.asarray(img))
+        for i, (img, t) in enumerate(zip(images, arrivals))
+    ]

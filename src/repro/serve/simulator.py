@@ -1,0 +1,175 @@
+"""Virtual-time serving simulator: batcher + worker pool + telemetry.
+
+The simulator advances a discrete-event virtual clock over one request
+stream: the dynamic batcher (:func:`repro.serve.batcher.form_batches`)
+seals batches, each sealed batch is dispatched to the earliest-free of N
+independently-simulated accelerator instances, and every image still runs
+the full ABM numerics through its worker's :class:`SystemRuntime` — so
+batched serving is *bit-exact* against sequential inference while the
+timing model captures queueing, batching and multi-accelerator overlap.
+
+Batch service time follows the paper's two-stage CPU/FPGA pipeline
+(Section 6.1) generalized to a batch of B images: fill the pipeline once,
+then stream at the slower stage's rate
+(:meth:`repro.runtime.SystemRuntime.batch_seconds`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.specs import LayerSpec
+from ..hw.config import AcceleratorConfig
+from ..hw.device import STRATIX_V_GXA7, FPGADevice
+from ..pipeline import QuantizedPipeline
+from ..runtime import SystemRuntime
+from ..system.host import DEFAULT_HOST_OPS_PER_SECOND
+from .batcher import Batch, BatchPolicy, ServeRequest, form_batches
+from .cache import DeploymentCache
+from .stats import ServeResponse, ServeStats
+
+
+def build_worker_pool(
+    pipeline: QuantizedPipeline,
+    specs: Sequence[LayerSpec],
+    workers: int,
+    config: Optional[AcceleratorConfig] = None,
+    device: FPGADevice = STRATIX_V_GXA7,
+    cache: Optional[DeploymentCache] = None,
+    host_ops_per_second: float = DEFAULT_HOST_OPS_PER_SECOND,
+) -> List[SystemRuntime]:
+    """N accelerator instances serving one deployed model.
+
+    The deployment (encode + buffer check + blob) happens once — through
+    ``cache`` when given, so repeat pools for the same (model, config,
+    device) skip re-encoding entirely — and each worker wraps it in its
+    own :class:`SystemRuntime`, i.e. its own simulated accelerator.
+    """
+    if workers < 1:
+        raise ValueError("worker pool needs at least one accelerator")
+    if cache is not None:
+        deployed = cache.get_or_deploy(pipeline, specs, config=config, device=device)
+    else:
+        from ..deploy import deploy
+
+        deployed = deploy(pipeline, specs, config=config, device=device)
+    return [
+        SystemRuntime(
+            pipeline,
+            deployed,
+            device=device,
+            host_ops_per_second=host_ops_per_second,
+        )
+        for _ in range(workers)
+    ]
+
+
+@dataclass(frozen=True)
+class BatchTrace:
+    """Dispatch record of one batch, for reporting and tests."""
+
+    batch_id: int
+    worker_id: int
+    size: int
+    close_s: float
+    start_s: float
+    finish_s: float
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Everything one simulated serving run produced."""
+
+    responses: Tuple[ServeResponse, ...]
+    batches: Tuple[BatchTrace, ...]
+    stats: ServeStats
+
+    def output_for(self, request_id: int) -> ServeResponse:
+        for response in self.responses:
+            if response.request_id == request_id:
+                return response
+        raise KeyError(f"no response for request {request_id}")
+
+
+class ServingSimulator:
+    """Serve a request stream across a pool of simulated accelerators."""
+
+    def __init__(
+        self, workers: Sequence[SystemRuntime], policy: BatchPolicy
+    ) -> None:
+        if not workers:
+            raise ValueError("need at least one worker runtime")
+        names = {worker.pipeline.network.name for worker in workers}
+        if len(names) > 1:
+            raise ValueError(
+                f"all workers must serve the same model, got {sorted(names)}"
+            )
+        self.workers = list(workers)
+        self.policy = policy
+
+    def run(self, requests: Sequence[ServeRequest]) -> ServeReport:
+        """Simulate the stream; returns bit-exact outputs plus telemetry."""
+        if not requests:
+            raise ValueError("need at least one request")
+        batches = sorted(
+            form_batches(requests, self.policy), key=lambda b: b.close_s
+        )
+        available = [0.0] * len(self.workers)
+        responses: List[ServeResponse] = []
+        traces: List[BatchTrace] = []
+        for batch_id, batch in enumerate(batches):
+            worker_id = min(
+                range(len(self.workers)), key=lambda i: (available[i], i)
+            )
+            worker = self.workers[worker_id]
+            start_s = max(batch.close_s, available[worker_id])
+            finish_s = start_s + worker.batch_seconds(batch.size)
+            available[worker_id] = finish_s
+            traces.append(
+                BatchTrace(
+                    batch_id=batch_id,
+                    worker_id=worker_id,
+                    size=batch.size,
+                    close_s=batch.close_s,
+                    start_s=start_s,
+                    finish_s=finish_s,
+                )
+            )
+            responses.extend(
+                self._serve_batch(batch, batch_id, worker_id, worker, start_s, finish_s)
+            )
+        stats = ServeStats(
+            responses, dense_ops_per_image=self.workers[0].simulation.dense_ops
+        )
+        return ServeReport(
+            responses=tuple(responses), batches=tuple(traces), stats=stats
+        )
+
+    def _serve_batch(
+        self,
+        batch: Batch,
+        batch_id: int,
+        worker_id: int,
+        worker: SystemRuntime,
+        start_s: float,
+        finish_s: float,
+    ) -> List[ServeResponse]:
+        served = []
+        for request in batch.requests:
+            outcome = worker.infer(request.image)
+            served.append(
+                ServeResponse(
+                    request_id=request.request_id,
+                    worker_id=worker_id,
+                    batch_id=batch_id,
+                    batch_size=batch.size,
+                    arrival_s=request.arrival_s,
+                    close_s=batch.close_s,
+                    start_s=start_s,
+                    finish_s=finish_s,
+                    output=outcome.output,
+                    top1=outcome.top1,
+                )
+            )
+        return served

@@ -1,0 +1,205 @@
+"""Serving telemetry: per-request latency, queue depth, batches, GOP/s.
+
+All times are virtual (simulated) seconds. The arithmetic is deliberately
+elementary — sorted-order percentiles, event-walk queue depths — so the
+test suite can pin every figure against hand-computed values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One completed request with its full timing attribution."""
+
+    request_id: int
+    worker_id: int
+    batch_id: int
+    batch_size: int
+    arrival_s: float
+    close_s: float
+    start_s: float
+    finish_s: float
+    output: np.ndarray
+    top1: int
+
+    @property
+    def batch_wait_s(self) -> float:
+        """Time spent waiting for the batch to close."""
+        return self.close_s - self.arrival_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Time from arrival until the batch starts on a worker."""
+        return self.start_s - self.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        """Time the batch occupied its accelerator instance."""
+        return self.finish_s - self.start_s
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end request latency."""
+        return self.finish_s - self.arrival_s
+
+
+class ServeStats:
+    """Aggregate statistics over one simulated serving run."""
+
+    def __init__(
+        self, responses: Sequence[ServeResponse], dense_ops_per_image: int
+    ) -> None:
+        if not responses:
+            raise ValueError("stats need at least one response")
+        if dense_ops_per_image < 0:
+            raise ValueError("dense ops cannot be negative")
+        self.responses: Tuple[ServeResponse, ...] = tuple(
+            sorted(responses, key=lambda r: r.request_id)
+        )
+        self.dense_ops_per_image = dense_ops_per_image
+
+    # ---- request counts ------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.responses)
+
+    @property
+    def batch_count(self) -> int:
+        return len({r.batch_id for r in self.responses})
+
+    def batch_size_histogram(self) -> Dict[int, int]:
+        """batch size -> number of batches dispatched at that size."""
+        sizes = {r.batch_id: r.batch_size for r in self.responses}
+        histogram: Dict[int, int] = {}
+        for size in sizes.values():
+            histogram[size] = histogram.get(size, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.count / self.batch_count
+
+    # ---- latency -------------------------------------------------------
+
+    def latencies_s(self) -> List[float]:
+        return [r.latency_s for r in self.responses]
+
+    @property
+    def mean_latency_s(self) -> float:
+        return float(np.mean(self.latencies_s()))
+
+    @property
+    def max_latency_s(self) -> float:
+        return float(max(self.latencies_s()))
+
+    def latency_percentile_s(self, percentile: float) -> float:
+        """Nearest-rank latency percentile (0 < percentile <= 100)."""
+        if not 0 < percentile <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        ordered = sorted(self.latencies_s())
+        rank = int(np.ceil(percentile / 100 * len(ordered))) - 1
+        return ordered[max(rank, 0)]
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self.latency_percentile_s(50)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return self.latency_percentile_s(95)
+
+    @property
+    def mean_queue_wait_s(self) -> float:
+        return float(np.mean([r.queue_wait_s for r in self.responses]))
+
+    # ---- queue depth ---------------------------------------------------
+
+    def queue_depth_timeline(self) -> List[Tuple[float, int]]:
+        """(time, depth) steps of the number of queued-but-unstarted requests.
+
+        Depth rises at each arrival and falls when the request's batch
+        starts on a worker; simultaneous events collapse into one step.
+        """
+        events: Dict[float, int] = {}
+        for response in self.responses:
+            events[response.arrival_s] = events.get(response.arrival_s, 0) + 1
+            events[response.start_s] = events.get(response.start_s, 0) - 1
+        depth = 0
+        timeline: List[Tuple[float, int]] = []
+        for time in sorted(events):
+            depth += events[time]
+            timeline.append((time, depth))
+        return timeline
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max(depth for _, depth in self.queue_depth_timeline())
+
+    # ---- throughput ----------------------------------------------------
+
+    @property
+    def makespan_s(self) -> float:
+        """First arrival to last completion, in virtual seconds."""
+        start = min(r.arrival_s for r in self.responses)
+        finish = max(r.finish_s for r in self.responses)
+        return finish - start
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.count / self.makespan_s
+
+    @property
+    def aggregate_gops(self) -> float:
+        """Dense-op throughput of the whole pool over the run (paper basis)."""
+        return self.count * self.dense_ops_per_image / self.makespan_s / 1e9
+
+    def worker_busy_s(self) -> Dict[int, float]:
+        """worker id -> total virtual seconds spent executing batches."""
+        batch_service: Dict[int, Tuple[int, float]] = {
+            r.batch_id: (r.worker_id, r.service_s) for r in self.responses
+        }
+        busy: Dict[int, float] = {}
+        for worker_id, service in batch_service.values():
+            busy[worker_id] = busy.get(worker_id, 0.0) + service
+        return dict(sorted(busy.items()))
+
+    def worker_utilization(self) -> Dict[int, float]:
+        """worker id -> busy fraction of the makespan."""
+        span = self.makespan_s
+        if span <= 0:
+            return {w: 0.0 for w in self.worker_busy_s()}
+        return {w: busy / span for w, busy in self.worker_busy_s().items()}
+
+    # ---- reporting -----------------------------------------------------
+
+    def render(self) -> str:
+        """Human-readable summary block for the CLI."""
+        histogram = ", ".join(
+            f"{size}x{count}" for size, count in self.batch_size_histogram().items()
+        )
+        utilization = "  ".join(
+            f"w{worker}: {fraction:.0%}"
+            for worker, fraction in self.worker_utilization().items()
+        )
+        lines = [
+            f"requests:        {self.count} in {self.batch_count} batches "
+            f"(sizes {histogram})",
+            f"makespan:        {self.makespan_s * 1e3:.3f} ms virtual",
+            f"latency:         mean {self.mean_latency_s * 1e3:.3f} ms   "
+            f"p50 {self.p50_latency_s * 1e3:.3f} ms   "
+            f"p95 {self.p95_latency_s * 1e3:.3f} ms   "
+            f"max {self.max_latency_s * 1e3:.3f} ms",
+            f"queue:           mean wait {self.mean_queue_wait_s * 1e3:.3f} ms   "
+            f"max depth {self.max_queue_depth}",
+            f"throughput:      {self.requests_per_second:.1f} img/s   "
+            f"{self.aggregate_gops:.1f} GOP/s aggregate",
+            f"worker busy:     {utilization}",
+        ]
+        return "\n".join(lines)

@@ -4,6 +4,7 @@ from .host import (
     DEFAULT_HOST_OPS_PER_SECOND,
     HostLayerCost,
     HostModel,
+    UnknownHostLayerError,
     host_costs,
     host_layer_ops,
 )
@@ -15,6 +16,7 @@ __all__ = [
     "host_costs",
     "host_layer_ops",
     "DEFAULT_HOST_OPS_PER_SECOND",
+    "UnknownHostLayerError",
     "SystemResult",
     "run_system",
     "host_ops_from_architecture",

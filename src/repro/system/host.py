@@ -19,6 +19,7 @@ from typing import List, Sequence, Tuple
 
 from ..nn.layers import (
     AvgPool2D,
+    BatchNorm,
     Dropout,
     Flatten,
     LocalResponseNorm,
@@ -45,13 +46,24 @@ class HostLayerCost:
         return self.elementwise_ops / ops_per_second
 
 
+class UnknownHostLayerError(TypeError):
+    """A host-side layer the cost model has no entry for.
+
+    Returning 0 here would silently understate the CPU stage and could
+    flip the paper's "CPU time is hidden" verdict, so an unrecognized
+    layer is an error, not free work.
+    """
+
+
 def host_layer_ops(layer: Layer, input_shape: FeatureShape) -> int:
     """Elementwise operation estimate for one host layer.
 
     Pooling costs one compare/add per window element; LRN costs a square,
     a windowed sum (via prefix sums, ~2 ops), a power and a divide (~8 ops
-    total) per element; softmax an exp+div (~10); ReLU one op. Layers with
-    no arithmetic (dropout, flatten) are free.
+    total) per element; softmax an exp+div (~10); ReLU one op; inference
+    batch norm a fused scale+shift (2). Layers with no arithmetic
+    (dropout, flatten) are free. Unknown layer types raise
+    :class:`UnknownHostLayerError` rather than silently costing nothing.
     """
     output = layer.output_shape(input_shape)
     if isinstance(layer, (MaxPool2D, AvgPool2D)):
@@ -62,9 +74,14 @@ def host_layer_ops(layer: Layer, input_shape: FeatureShape) -> int:
         return input_shape.size * 10
     if isinstance(layer, ReLU):
         return input_shape.size
+    if isinstance(layer, BatchNorm):
+        return input_shape.size * 2
     if isinstance(layer, (Dropout, Flatten)):
         return 0
-    return 0
+    raise UnknownHostLayerError(
+        f"no host cost model for layer {layer.name!r} "
+        f"({type(layer).__name__}); add it to host_layer_ops"
+    )
 
 
 def host_costs(network: Network) -> List[HostLayerCost]:

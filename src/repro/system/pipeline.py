@@ -31,14 +31,16 @@ from ..nn.models.arch import (
     SoftmaxDef,
 )
 from ..hw.workload import ModelWorkload
-from .host import DEFAULT_HOST_OPS_PER_SECOND
+from .host import DEFAULT_HOST_OPS_PER_SECOND, UnknownHostLayerError
 
 
 def host_ops_from_architecture(architecture: Architecture) -> int:
     """Elementwise host ops per image from a symbolic architecture walk.
 
     Mirrors :func:`repro.system.host.host_layer_ops` without building the
-    network, so full-size VGG16 never allocates its FC tensors.
+    network, so full-size VGG16 never allocates its FC tensors. The two
+    walks are pinned against each other by tests; an unknown layer def
+    raises (like the network walk) instead of silently costing zero.
     """
     total = 0
     for layer_def, in_shape, out_shape in architecture.layer_shapes():
@@ -54,6 +56,12 @@ def host_ops_from_architecture(architecture: Architecture) -> int:
             total += in_size
         elif isinstance(layer_def, (ConvDef, FCDef, FlattenDef, DropoutDef)):
             continue
+        else:
+            raise UnknownHostLayerError(
+                f"no host cost model for layer def {layer_def.name!r} "
+                f"({type(layer_def).__name__}); add it to "
+                f"host_ops_from_architecture and host_layer_ops"
+            )
     return total
 
 

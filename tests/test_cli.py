@@ -19,6 +19,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--model", "resnet"])
 
+    def test_serve_sim_defaults(self):
+        args = build_parser().parse_args(["serve-sim"])
+        assert args.model == "lenet"
+        assert args.workers == 2
+        assert args.max_batch == 8
+
+    def test_serve_sim_rejects_big_models(self):
+        """Full-size VGG cannot run the functional serving pipeline."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-sim", "--model", "vgg16"])
+
 
 class TestCommands:
     def test_roofline(self, capsys):
@@ -57,6 +68,16 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "CPU hidden" in out
         assert "pipeline gain" in out
+
+    def test_serve_sim(self, capsys):
+        assert main([
+            "serve-sim", "--requests", "6", "--workers", "2",
+            "--max-batch", "2", "--rate", "100000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "GOP/s aggregate" in out
+        assert "model cache" in out
+        assert "p95" in out
 
     def test_encode_roundtrip(self, capsys, tmp_path):
         from repro.core import load_model

@@ -28,6 +28,7 @@ ENTRY_POINTS = (
     "repro.pipeline",
     "repro.deploy",
     "repro.runtime",
+    "repro.serve",
     "repro.cli",
 )
 

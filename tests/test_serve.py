@@ -1,0 +1,409 @@
+"""Tests for the batched multi-accelerator serving runtime.
+
+Covers the batching invariants (a batch never exceeds ``max_batch`` and
+no request waits past ``max_wait_s``), worker-pool sharding, the LRU
+deployment cache's hit/miss/eviction accounting, and the ``ServeStats``
+arithmetic pinned against hand-computed values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.config import AcceleratorConfig
+from repro.pipeline import QuantizedPipeline
+from repro.prune import uniform_schedule
+from repro.serve import (
+    BatchPolicy,
+    DeploymentCache,
+    LRUCache,
+    ServeRequest,
+    ServeResponse,
+    ServeStats,
+    ServingSimulator,
+    build_worker_pool,
+    form_batches,
+    make_requests,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+
+
+from repro.nn.models import (
+    Architecture,
+    ConvDef,
+    FCDef,
+    FlattenDef,
+    PoolDef,
+    ReLUDef,
+    SoftmaxDef,
+)
+
+
+def _tiny_serving_architecture() -> Architecture:
+    """Module-scope copy of the conftest tiny CNN (fixture scopes differ)."""
+    return Architecture(
+        name="tiny",
+        input_channels=3,
+        input_rows=16,
+        input_cols=16,
+        defs=[
+            ConvDef("conv1", 8, kernel=3, padding=1),
+            ReLUDef("relu1"),
+            PoolDef("pool1", kernel=2, stride=2),
+            ConvDef("conv2", 12, kernel=3, padding=1),
+            ReLUDef("relu2"),
+            PoolDef("pool2", kernel=2, stride=2),
+            FlattenDef("flatten"),
+            FCDef("fc3", 20),
+            ReLUDef("relu3"),
+            FCDef("fc4", 10, scale_output=False),
+            SoftmaxDef("prob"),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def served_model():
+    """A quantized tiny model plus its accelerated-layer specs."""
+    tiny_architecture = _tiny_serving_architecture()
+    network = tiny_architecture.build(seed=10)
+    rng = np.random.default_rng(99)
+    image = rng.normal(size=network.input_shape.as_tuple())
+    names = [layer.name for layer in network.accelerated_layers()]
+    pipeline = QuantizedPipeline(network)
+    pipeline.prune(uniform_schedule(names, 0.4).densities)
+    pipeline.calibrate(image)
+    pipeline.quantize()
+    return pipeline, tiny_architecture.accelerated_specs()
+
+
+def _requests(arrivals):
+    """Tiny placeholder requests for pure batcher tests."""
+    image = np.zeros((1, 1, 1))
+    return [
+        ServeRequest(request_id=i, arrival_s=t, image=image)
+        for i, t in enumerate(arrivals)
+    ]
+
+
+class TestBatchPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_wait_s=-1e-9)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            ServeRequest(request_id=0, arrival_s=-1.0, image=np.zeros(1))
+
+
+class TestDynamicBatcher:
+    def test_full_batch_closes_immediately(self):
+        """The max_batch-th arrival seals the batch at its own arrival."""
+        batches = form_batches(
+            _requests([0.0] * 10), BatchPolicy(max_batch=4, max_wait_s=1.0)
+        )
+        assert [b.size for b in batches] == [4, 4, 2]
+        assert batches[0].close_s == 0.0
+        assert batches[1].close_s == 0.0
+        # The trailing partial batch waits out the deadline.
+        assert batches[2].close_s == 1.0
+
+    def test_deadline_closes_partial_batch(self):
+        """A late arrival cannot join a batch past the oldest's deadline."""
+        batches = form_batches(
+            _requests([0.0, 0.5, 2.0]), BatchPolicy(max_batch=8, max_wait_s=1.0)
+        )
+        assert [b.size for b in batches] == [2, 1]
+        assert batches[0].close_s == 1.0  # first arrival + max_wait
+        assert batches[1].close_s == 3.0
+
+    def test_arrival_exactly_at_deadline_joins(self):
+        batches = form_batches(
+            _requests([0.0, 1.0]), BatchPolicy(max_batch=8, max_wait_s=1.0)
+        )
+        assert [b.size for b in batches] == [2]
+
+    def test_never_exceeds_max_batch(self, rng):
+        arrivals = np.sort(rng.uniform(0, 1e-3, size=200))
+        for max_batch in (1, 3, 7):
+            policy = BatchPolicy(max_batch=max_batch, max_wait_s=5e-5)
+            batches = form_batches(_requests(arrivals), policy)
+            assert all(b.size <= max_batch for b in batches)
+
+    def test_max_wait_honored(self, rng):
+        """No request's batch closes later than its arrival + max_wait."""
+        arrivals = np.sort(rng.uniform(0, 1e-3, size=200))
+        policy = BatchPolicy(max_batch=5, max_wait_s=5e-5)
+        for batch in form_batches(_requests(arrivals), policy):
+            for request in batch.requests:
+                assert batch.close_s <= request.arrival_s + policy.max_wait_s + 1e-15
+            # Close time never precedes the newest member either.
+            assert batch.close_s >= batch.requests[-1].arrival_s
+
+    def test_every_request_served_once_in_order(self, rng):
+        arrivals = np.sort(rng.uniform(0, 1e-3, size=100))
+        policy = BatchPolicy(max_batch=4, max_wait_s=2e-5)
+        batches = form_batches(_requests(arrivals), policy)
+        flat = [r.request_id for b in batches for r in b.requests]
+        assert flat == sorted(flat)
+        assert len(flat) == 100
+
+    def test_max_batch_one_degenerates_to_fifo(self):
+        batches = form_batches(
+            _requests([0.0, 0.1, 0.2]), BatchPolicy(max_batch=1, max_wait_s=9.0)
+        )
+        assert [b.size for b in batches] == [1, 1, 1]
+        assert [b.close_s for b in batches] == [0.0, 0.1, 0.2]
+
+
+class TestArrivals:
+    def test_poisson_monotone_and_sized(self, rng):
+        arrivals = poisson_arrivals(50, 1000.0, rng)
+        assert len(arrivals) == 50
+        assert np.all(np.diff(arrivals) >= 0)
+        assert arrivals[0] > 0
+
+    def test_uniform_spacing(self):
+        arrivals = uniform_arrivals(4, 100.0)
+        assert np.allclose(arrivals, [0.0, 0.01, 0.02, 0.03])
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0, 10.0, rng)
+        with pytest.raises(ValueError):
+            poisson_arrivals(5, 0.0, rng)
+        with pytest.raises(ValueError):
+            uniform_arrivals(5, -1.0)
+
+    def test_make_requests_length_mismatch(self):
+        with pytest.raises(ValueError):
+            make_requests([np.zeros(1)], [0.0, 1.0])
+
+
+class TestLRUCache:
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(capacity=2)
+        assert cache.get_or_create("a", lambda: 1) == 1
+        assert cache.get_or_create("a", lambda: 2) == 1  # hit keeps value
+        assert cache.hits == 1 and cache.misses == 1 and cache.evictions == 0
+        info = cache.info()
+        assert info.hit_rate == 0.5 and info.size == 1
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(capacity=2)
+        cache.get_or_create("a", lambda: 1)
+        cache.get_or_create("b", lambda: 2)
+        cache.get_or_create("a", lambda: 0)  # refresh a; b is now LRU
+        cache.get_or_create("c", lambda: 3)  # evicts b
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.evictions == 1
+        assert cache.keys() == ["a", "c"]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0)
+
+
+class TestDeploymentCache:
+    def test_repeat_deploy_skips_encoding(self, served_model, monkeypatch):
+        pipeline, specs = served_model
+        calls = []
+        import repro.serve.cache as cache_module
+
+        real_deploy = cache_module.deploy
+
+        def counting_deploy(*args, **kwargs):
+            calls.append(1)
+            return real_deploy(*args, **kwargs)
+
+        monkeypatch.setattr(cache_module, "deploy", counting_deploy)
+        cache = DeploymentCache(capacity=2)
+        first = cache.get_or_deploy(pipeline, specs)
+        second = cache.get_or_deploy(pipeline, specs)
+        assert first is second
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_distinct_configs_are_distinct_entries(self, served_model):
+        pipeline, specs = served_model
+        cache = DeploymentCache(capacity=4)
+        config_a = AcceleratorConfig(n_cu=1, n_knl=2, n_share=2, s_ec=1)
+        config_b = AcceleratorConfig(n_cu=2, n_knl=2, n_share=2, s_ec=1)
+        cache.get_or_deploy(pipeline, specs, config=config_a)
+        cache.get_or_deploy(pipeline, specs, config=config_b)
+        cache.get_or_deploy(pipeline, specs, config=config_a)
+        assert cache.misses == 2 and cache.hits == 1
+
+    def test_eviction_forces_redeploy(self, served_model):
+        pipeline, specs = served_model
+        cache = DeploymentCache(capacity=1)
+        config_a = AcceleratorConfig(n_cu=1, n_knl=2, n_share=2, s_ec=1)
+        config_b = AcceleratorConfig(n_cu=2, n_knl=2, n_share=2, s_ec=1)
+        cache.get_or_deploy(pipeline, specs, config=config_a)
+        cache.get_or_deploy(pipeline, specs, config=config_b)  # evicts a
+        cache.get_or_deploy(pipeline, specs, config=config_a)  # miss again
+        assert cache.misses == 3 and cache.evictions == 2
+
+
+class TestWorkerPool:
+    def test_workers_share_one_deployment(self, served_model):
+        pipeline, specs = served_model
+        pool = build_worker_pool(pipeline, specs, workers=3)
+        assert len(pool) == 3
+        assert all(worker.deployed is pool[0].deployed for worker in pool)
+        # ...but each wraps an independently-simulated accelerator.
+        assert len({id(worker) for worker in pool}) == 3
+
+    def test_pool_size_validation(self, served_model):
+        pipeline, specs = served_model
+        with pytest.raises(ValueError):
+            build_worker_pool(pipeline, specs, workers=0)
+
+    def test_batches_shard_across_workers(self, served_model):
+        """A saturated burst round-robins batches over the free workers."""
+        pipeline, specs = served_model
+        pool = build_worker_pool(pipeline, specs, workers=2)
+        rng = np.random.default_rng(5)
+        shape = pipeline.network.input_shape.as_tuple()
+        images = [rng.normal(size=shape) for _ in range(8)]
+        requests = make_requests(images, [0.0] * 8)
+        report = ServingSimulator(
+            pool, BatchPolicy(max_batch=2, max_wait_s=0.0)
+        ).run(requests)
+        assert [trace.worker_id for trace in report.batches] == [0, 1, 0, 1]
+        busy = report.stats.worker_busy_s()
+        assert busy[0] == pytest.approx(busy[1])
+        # Two workers halve the makespan of four equal batches.
+        service = pool[0].batch_seconds(2)
+        assert report.stats.makespan_s == pytest.approx(2 * service)
+
+    def test_mixed_models_rejected(self, served_model, tiny_architecture):
+        pipeline, specs = served_model
+        pool = build_worker_pool(pipeline, specs, workers=1)
+        other_network = tiny_architecture.build(seed=3)
+        other_network.name = "other"
+        other = QuantizedPipeline(other_network)
+        names = [l.name for l in other_network.accelerated_layers()]
+        other.prune(uniform_schedule(names, 0.4).densities)
+        rng = np.random.default_rng(0)
+        other.calibrate(rng.normal(size=other_network.input_shape.as_tuple()))
+        other.quantize()
+        other_pool = build_worker_pool(other, specs, workers=1)
+        with pytest.raises(ValueError, match="same model"):
+            ServingSimulator(pool + other_pool, BatchPolicy())
+
+    def test_empty_inputs_rejected(self, served_model):
+        pipeline, specs = served_model
+        pool = build_worker_pool(pipeline, specs, workers=1)
+        simulator = ServingSimulator(pool, BatchPolicy())
+        with pytest.raises(ValueError):
+            ServingSimulator([], BatchPolicy())
+        with pytest.raises(ValueError):
+            simulator.run([])
+
+
+class TestBatchSeconds:
+    def test_single_image_is_sequential_time(self, served_model):
+        pipeline, specs = served_model
+        runtime = build_worker_pool(pipeline, specs, workers=1)[0]
+        fpga = runtime.simulation.seconds_per_image
+        host = runtime.host_model.seconds_per_image(pipeline.network)
+        assert runtime.batch_seconds(1) == pytest.approx(fpga + host)
+
+    def test_pipelined_marginal_cost(self, served_model):
+        pipeline, specs = served_model
+        runtime = build_worker_pool(pipeline, specs, workers=1)[0]
+        fpga = runtime.simulation.seconds_per_image
+        host = runtime.host_model.seconds_per_image(pipeline.network)
+        for batch in (2, 5, 16):
+            expected = fpga + host + (batch - 1) * max(fpga, host)
+            assert runtime.batch_seconds(batch) == pytest.approx(expected)
+
+    def test_validation(self, served_model):
+        pipeline, specs = served_model
+        runtime = build_worker_pool(pipeline, specs, workers=1)[0]
+        with pytest.raises(ValueError):
+            runtime.batch_seconds(0)
+        with pytest.raises(ValueError):
+            runtime.infer_batch([])
+
+
+def _response(request_id, worker, batch, size, arrival, close, start, finish):
+    return ServeResponse(
+        request_id=request_id,
+        worker_id=worker,
+        batch_id=batch,
+        batch_size=size,
+        arrival_s=arrival,
+        close_s=close,
+        start_s=start,
+        finish_s=finish,
+        output=np.array([1.0]),
+        top1=0,
+    )
+
+
+class TestServeStats:
+    """Every figure pinned against a tiny hand-computed scenario."""
+
+    @pytest.fixture
+    def stats(self):
+        responses = [
+            _response(0, worker=0, batch=0, size=2,
+                      arrival=0.0, close=1.0, start=1.0, finish=3.0),
+            _response(1, worker=0, batch=0, size=2,
+                      arrival=1.0, close=1.0, start=1.0, finish=3.0),
+            _response(2, worker=1, batch=1, size=1,
+                      arrival=2.0, close=2.5, start=2.5, finish=4.5),
+        ]
+        return ServeStats(responses, dense_ops_per_image=1_000_000_000)
+
+    def test_counts(self, stats):
+        assert stats.count == 3
+        assert stats.batch_count == 2
+        assert stats.batch_size_histogram() == {1: 1, 2: 1}
+        assert stats.mean_batch_size == pytest.approx(1.5)
+
+    def test_latency_arithmetic(self, stats):
+        assert stats.latencies_s() == [3.0, 2.0, 2.5]
+        assert stats.mean_latency_s == pytest.approx(2.5)
+        assert stats.max_latency_s == 3.0
+        # Nearest-rank percentiles over [2.0, 2.5, 3.0].
+        assert stats.p50_latency_s == 2.5
+        assert stats.p95_latency_s == 3.0
+        assert stats.latency_percentile_s(100) == 3.0
+        with pytest.raises(ValueError):
+            stats.latency_percentile_s(0)
+
+    def test_queue_wait(self, stats):
+        assert stats.mean_queue_wait_s == pytest.approx((1.0 + 0.0 + 0.5) / 3)
+
+    def test_queue_depth_timeline(self, stats):
+        assert stats.queue_depth_timeline() == [
+            (0.0, 1), (1.0, 0), (2.0, 1), (2.5, 0)
+        ]
+        assert stats.max_queue_depth == 1
+
+    def test_throughput(self, stats):
+        assert stats.makespan_s == pytest.approx(4.5)
+        assert stats.requests_per_second == pytest.approx(3 / 4.5)
+        # 3 images x 1 GOP each over 4.5 s = 2/3 GOP/s.
+        assert stats.aggregate_gops == pytest.approx(2 / 3)
+
+    def test_worker_accounting(self, stats):
+        assert stats.worker_busy_s() == {0: 2.0, 1: 2.0}
+        utilization = stats.worker_utilization()
+        assert utilization[0] == pytest.approx(2.0 / 4.5)
+        assert utilization[1] == pytest.approx(2.0 / 4.5)
+
+    def test_render_mentions_headlines(self, stats):
+        text = stats.render()
+        assert "GOP/s aggregate" in text
+        assert "p95" in text
+        assert "max depth" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ServeStats([], dense_ops_per_image=1)

@@ -3,13 +3,18 @@
 import pytest
 
 from repro.hw import PAPER_CONFIG_ALEXNET, PAPER_CONFIG_VGG16, STRATIX_V_GXA7
-from repro.nn.models import alexnet_architecture, get_architecture, vgg16_architecture
+from repro.nn.layers import BatchNorm
+from repro.nn.layers.base import Layer
+from repro.nn.tensor import FeatureShape
 from repro.system import (
     HostModel,
+    UnknownHostLayerError,
     host_costs,
+    host_layer_ops,
     host_ops_from_architecture,
     run_system,
 )
+from repro.nn.models import alexnet_architecture, get_architecture, vgg16_architecture
 from repro.workloads import synthetic_model_workload
 
 
@@ -54,6 +59,53 @@ class TestHostModel:
         ops = host_ops_from_architecture(vgg16_architecture())
         # ReLU + pools + softmax over ~13.5M activations -> tens of MOPs.
         assert 10e6 < ops < 100e6
+
+    def test_unknown_layer_raises(self):
+        """Regression: an unmodelled host layer must not silently cost 0."""
+
+        class Mystery(Layer):
+            def output_shape(self, input_shape):
+                return input_shape
+
+            def forward(self, features):  # pragma: no cover - never run
+                return features
+
+        with pytest.raises(UnknownHostLayerError, match="Mystery"):
+            host_layer_ops(Mystery("mystery"), FeatureShape(3, 8, 8))
+
+    def test_batchnorm_costed(self):
+        """Inference BN is a fused scale+shift: 2 ops per element."""
+        shape = FeatureShape(4, 8, 8)
+        ops = host_layer_ops(BatchNorm("bn", channels=4), shape)
+        assert ops == shape.size * 2
+
+    def test_symbolic_walk_rejects_unknown_def(self):
+        """The architecture walk raises like the network walk does."""
+        from repro.nn.models import Architecture
+
+        class MysteryDef:
+            name = "mystery"
+
+        architecture = Architecture(
+            name="odd", input_channels=1, input_rows=4, input_cols=4,
+            defs=[MysteryDef()],
+        )
+        with pytest.raises(UnknownHostLayerError, match="MysteryDef"):
+            host_ops_from_architecture(architecture)
+
+    def test_symbolic_matches_network_walk_alexnet(self):
+        """Pin the two cost walks against each other on full AlexNet.
+
+        A new host layer added to one walk but not the other drifts the
+        system model silently; this catches it on a paper-scale network
+        (built with zero weights so the FC tensors stay cheap).
+        """
+        architecture = alexnet_architecture()
+        network = architecture.build(seed=None)
+        from_network = sum(c.elementwise_ops for c in host_costs(network))
+        from_arch = host_ops_from_architecture(architecture)
+        assert from_network > 0
+        assert from_arch == from_network
 
 
 class TestPipelinedSystem:
