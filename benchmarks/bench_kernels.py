@@ -3,15 +3,53 @@
 Not a paper artifact — these time the library's own hot paths (ABM vs
 dense vs zero-skipping execution of the same quantized layer) so
 performance regressions in the numpy implementations are visible.
+
+The real-layer comparison (``test_bench_compiled_real_layers``) times the
+per-kernel reference, the old per-(kernel, value) vectorized baseline and
+the compiled CSR fast path on actual AlexNet/VGG16 conv shapes, then
+writes a ``BENCH_kernels.json`` trajectory artifact (timings, images/s,
+speedups, plan-compile cost) to the repo root so future PRs can track
+the kernel's performance over time.
+
+Quick mode for CI: set ``REPRO_BENCH_QUICK=1`` to time only the smallest
+real layer with few repeats and skip the (very slow) reference path; the
+compiled-beats-vectorized assertion still runs.
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.baselines import sdconv2d, spconv2d
-from repro.core import ConvGeometry, abm_conv2d, encode_layer
-from repro.workloads import synthesize_quantized_layer, synthetic_feature_codes
+from repro.core import (
+    ConvGeometry,
+    abm_conv2d,
+    abm_conv2d_reference,
+    abm_conv2d_vectorized,
+    clear_plan_cache,
+    compile_layer_plan,
+    encode_layer,
+)
 from repro.core.specs import conv_spec
+from repro.workloads import synthesize_quantized_layer, synthetic_feature_codes
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") not in ("0", "")
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+# Real conv shapes from the paper's two models (Table 2 workloads):
+# (out_ch, in_ch, kernel, in_hw, stride, padding, groups).
+REAL_LAYERS = {
+    "alex_conv2": (256, 48, 5, 27, 1, 2, 2),
+    "alex_conv3": (384, 256, 3, 13, 1, 1, 1),
+    "alex_conv5": (256, 192, 3, 13, 1, 1, 2),
+    "vgg_conv3_2": (256, 256, 3, 56, 1, 1, 1),
+    "vgg_conv5_3": (512, 512, 3, 14, 1, 1, 1),
+}
+QUICK_LAYERS = ("alex_conv5",)
 
 
 @pytest.fixture(scope="module")
@@ -27,6 +65,13 @@ def test_bench_abm_conv(benchmark, layer):
     weights, features, geometry = layer
     encoded = encode_layer("bench", weights)
     result = benchmark(abm_conv2d, features, encoded, geometry)
+    assert result.multiply_ops < result.accumulate_ops
+
+
+def test_bench_abm_conv_vectorized(benchmark, layer):
+    weights, features, geometry = layer
+    encoded = encode_layer("bench", weights)
+    result = benchmark(abm_conv2d_vectorized, features, encoded, geometry)
     assert result.multiply_ops < result.accumulate_ops
 
 
@@ -46,3 +91,118 @@ def test_bench_encoding(benchmark, layer):
     weights, _, _ = layer
     encoded = benchmark(encode_layer, "bench", weights)
     assert encoded.nonzero_count == np.count_nonzero(weights)
+
+
+def _best_of(fn, repeats):
+    """Best-of-N wall time in seconds (min is the least noisy estimator)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _build_real_layer(name):
+    out_ch, in_ch, kernel, in_hw, stride, padding, groups = REAL_LAYERS[name]
+    spec = conv_spec(
+        name,
+        in_ch,
+        out_ch,
+        kernel=kernel,
+        in_rows=in_hw,
+        in_cols=in_hw,
+        stride=stride,
+        padding=padding,
+        groups=groups,
+    )
+    rng = np.random.default_rng(7)
+    weights = synthesize_quantized_layer(spec, density=0.3, codebook=20, rng=rng)
+    features = synthetic_feature_codes((in_ch, in_hw, in_hw), rng)
+    geometry = ConvGeometry(
+        kernel=kernel, stride=stride, padding=padding, groups=groups
+    )
+    return weights, features, geometry
+
+
+def test_bench_compiled_real_layers():
+    """Reference vs vectorized vs compiled on real AlexNet/VGG16 shapes.
+
+    Writes the BENCH_kernels.json trajectory artifact and asserts the
+    headline acceptance: the compiled CSR path beats the old vectorized
+    path by >= 5x on at least one real layer (>= 2x in quick mode, which
+    times the smallest layer only).
+    """
+    names = QUICK_LAYERS if QUICK else tuple(REAL_LAYERS)
+    repeats = 3 if QUICK else 5
+    report = {
+        "generated_by": "benchmarks/bench_kernels.py",
+        "quick": QUICK,
+        "density": 0.3,
+        "codebook": 20,
+        "layers": {},
+    }
+    print()
+    for name in names:
+        weights, features, geometry = _build_real_layer(name)
+        encoded = encode_layer(name, weights)
+
+        clear_plan_cache()
+        start = time.perf_counter()
+        compile_layer_plan(encoded, geometry)
+        compile_s = time.perf_counter() - start
+
+        compiled = abm_conv2d(features, encoded, geometry)
+        vectorized = abm_conv2d_vectorized(features, encoded, geometry)
+        assert np.array_equal(compiled.output, vectorized.output)
+        assert compiled.accumulate_ops == vectorized.accumulate_ops
+        assert compiled.multiply_ops == vectorized.multiply_ops
+
+        compiled_s = _best_of(lambda: abm_conv2d(features, encoded, geometry), repeats)
+        vectorized_s = _best_of(
+            lambda: abm_conv2d_vectorized(features, encoded, geometry),
+            max(1, repeats - 2),
+        )
+        reference_s = None
+        if not QUICK:
+            reference = abm_conv2d_reference(features, encoded, geometry)
+            assert np.array_equal(compiled.output, reference.output)
+            reference_s = _best_of(
+                lambda: abm_conv2d_reference(features, encoded, geometry), 1
+            )
+
+        entry = {
+            "shape": dict(
+                zip(
+                    ("out_ch", "in_ch", "kernel", "in_hw", "stride", "padding", "groups"),
+                    REAL_LAYERS[name],
+                )
+            ),
+            "plan_compile_s": round(compile_s, 6),
+            "compiled_s": round(compiled_s, 6),
+            "vectorized_s": round(vectorized_s, 6),
+            "reference_s": round(reference_s, 6) if reference_s is not None else None,
+            "images_per_s": round(1.0 / compiled_s, 2),
+            "speedup_vs_vectorized": round(vectorized_s / compiled_s, 2),
+            "speedup_vs_reference": (
+                round(reference_s / compiled_s, 2) if reference_s is not None else None
+            ),
+        }
+        report["layers"][name] = entry
+        print(
+            f"  {name:<12} compiled {compiled_s * 1e3:8.2f} ms "
+            f"({entry['images_per_s']:7.1f} img/s)  "
+            f"vectorized {vectorized_s * 1e3:8.2f} ms  "
+            f"speedup {entry['speedup_vs_vectorized']:5.2f}x  "
+            f"compile {compile_s * 1e3:6.2f} ms"
+        )
+
+    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"  wrote {ARTIFACT}")
+
+    best = max(
+        entry["speedup_vs_vectorized"] for entry in report["layers"].values()
+    )
+    # Quick mode times only the smallest layer on shared CI hardware; the
+    # full run must clear the ISSUE's 5x bar on at least one real layer.
+    assert best >= (2.0 if QUICK else 5.0), f"best speedup {best}x"

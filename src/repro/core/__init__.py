@@ -12,25 +12,37 @@
 """
 
 from .abm import (
+    ABMConvBatchResult,
     ABMConvResult,
     ConvGeometry,
     abm_conv2d,
+    abm_conv2d_batch,
     abm_conv2d_from_codes,
     abm_conv2d_reference,
+    abm_conv2d_vectorized,
     abm_fc,
+    abm_fc_batch,
     direct_conv2d_codes,
 )
 from .encoding import (
     EncodedKernel,
     EncodedLayer,
     QTableEntry,
+    clear_encode_cache,
     decode_kernel,
     decode_layer,
     encode_kernel,
     encode_layer,
+    encode_layer_cached,
     encoded_model_bytes,
     pack_index,
     unpack_index,
+)
+from .plan import (
+    LayerPlan,
+    clear_plan_cache,
+    compile_layer_plan,
+    plan_cache_size,
 )
 from .opcount import (
     FDCONV_REDUCTION,
@@ -68,12 +80,16 @@ from .verify import (
 )
 
 __all__ = [
+    "ABMConvBatchResult",
     "ABMConvResult",
     "ConvGeometry",
     "abm_conv2d",
+    "abm_conv2d_batch",
     "abm_conv2d_from_codes",
     "abm_conv2d_reference",
+    "abm_conv2d_vectorized",
     "abm_fc",
+    "abm_fc_batch",
     "direct_conv2d_codes",
     "EncodedKernel",
     "EncodedLayer",
@@ -81,10 +97,16 @@ __all__ = [
     "encode_kernel",
     "decode_kernel",
     "encode_layer",
+    "encode_layer_cached",
+    "clear_encode_cache",
     "decode_layer",
     "encoded_model_bytes",
     "pack_index",
     "unpack_index",
+    "LayerPlan",
+    "compile_layer_plan",
+    "clear_plan_cache",
+    "plan_cache_size",
     "FDCONV_REDUCTION",
     "LayerOpCounts",
     "ModelOpCounts",

@@ -16,10 +16,14 @@ factorization is bit-exact against direct convolution (a property test).
 Rounding to the 8-bit feature format happens once, after the kernel sum, as
 in the hardware's Sum/Round stage.
 
-Two implementations are provided: a literal reference loop
-(:func:`abm_conv2d_reference`) used as the test oracle, and a vectorized
-version (:func:`abm_conv2d`) that shares its accumulate-by-value structure
-but batches all output pixels of a channel through numpy.
+Three implementations are provided: a literal reference loop
+(:func:`abm_conv2d_reference`) used as the test oracle; a vectorized
+version (:func:`abm_conv2d_vectorized`) that batches all output pixels of
+a channel through numpy but still loops (kernel, distinct-value) pairs in
+Python; and the default fast path (:func:`abm_conv2d`), which executes a
+compile-once layer-wide CSR plan (:mod:`repro.core.plan`) — one gather,
+one segmented accumulate, one segment multiply — and is bit-exact against
+both with identical operation counts.
 """
 
 from __future__ import annotations
@@ -30,7 +34,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..nn.layers.conv import im2col
-from .encoding import EncodedLayer, encode_layer
+from .encoding import EncodedLayer, encode_layer_cached
+from .plan import compile_layer_plan
 
 
 @dataclass(frozen=True)
@@ -135,16 +140,19 @@ def abm_conv2d_reference(
     return ABMConvResult(output=output, accumulate_ops=acc_ops, multiply_ops=mult_ops)
 
 
-def abm_conv2d(
+def abm_conv2d_vectorized(
     feature_codes: np.ndarray,
     encoded: EncodedLayer,
     geometry: ConvGeometry,
     bias_codes: Optional[np.ndarray] = None,
 ) -> ABMConvResult:
-    """Vectorized ABM-SpConv.
+    """Vectorized ABM-SpConv (the pre-plan implementation, kept as a
+    mid-fidelity baseline for benchmarks and differential tests).
 
     The value-grouped structure is identical to the reference; numpy batches
-    the accumulate stage over all output pixels of a kernel at once.
+    the accumulate stage over all output pixels of a kernel at once, but the
+    (kernel, distinct-value) loop still runs in Python — one fancy-indexed
+    gather and one reduction per pair.
     """
     features = _check_feature_codes(feature_codes)
     channels, rows, cols = features.shape
@@ -183,6 +191,74 @@ def abm_conv2d(
     )
 
 
+def abm_conv2d(
+    feature_codes: np.ndarray,
+    encoded: EncodedLayer,
+    geometry: ConvGeometry,
+    bias_codes: Optional[np.ndarray] = None,
+) -> ABMConvResult:
+    """ABM-SpConv through the compiled CSR fast path (the default).
+
+    Compiles (and caches) a layer-wide execution plan on first use — see
+    :mod:`repro.core.plan` — then runs the whole layer as one gather plus
+    two segmented reductions. Bit-exact against
+    :func:`abm_conv2d_reference` with identical operation counts.
+    """
+    features = _check_feature_codes(feature_codes)
+    plan = compile_layer_plan(encoded, geometry)
+    output, acc_ops, mult_ops = plan.execute(features, bias_codes=bias_codes)
+    return ABMConvResult(output=output, accumulate_ops=acc_ops, multiply_ops=mult_ops)
+
+
+@dataclass(frozen=True)
+class ABMConvBatchResult:
+    """Output of one batched ABM execution, with batch-total op counts."""
+
+    output: np.ndarray  # (batch, M, R', C')
+    accumulate_ops: int
+    multiply_ops: int
+
+    @property
+    def batch_size(self) -> int:
+        return self.output.shape[0]
+
+    @property
+    def total_ops(self) -> int:
+        return self.accumulate_ops + self.multiply_ops
+
+    def per_image_ops(self) -> Tuple[int, int]:
+        """(accumulate, multiply) counts of each image — exact, since every
+        image of a batch executes the identical encoded layer."""
+        batch = self.batch_size
+        return self.accumulate_ops // batch, self.multiply_ops // batch
+
+
+def abm_conv2d_batch(
+    feature_codes: np.ndarray,
+    encoded: EncodedLayer,
+    geometry: ConvGeometry,
+    bias_codes: Optional[np.ndarray] = None,
+) -> ABMConvBatchResult:
+    """Batched ABM-SpConv: a (B, C, H, W) batch stacked into the pixel axis.
+
+    All B images run through one compiled-plan pass — the gather and the
+    segmented reductions see B x out_pixels rows — instead of looping
+    images in Python. Numerically identical to running each image through
+    :func:`abm_conv2d`.
+    """
+    batch = np.asarray(feature_codes)
+    if batch.ndim != 4:
+        raise ValueError(f"batched feature codes must be BCHW, got {batch.shape}")
+    if not np.issubdtype(batch.dtype, np.integer):
+        raise TypeError("ABM-SpConv operates on integer feature codes")
+    batch = batch.astype(np.int64)
+    plan = compile_layer_plan(encoded, geometry)
+    output, acc_ops, mult_ops = plan.execute_batch(batch, bias_codes=bias_codes)
+    return ABMConvBatchResult(
+        output=output, accumulate_ops=acc_ops, multiply_ops=mult_ops
+    )
+
+
 def abm_fc(
     feature_codes: np.ndarray,
     encoded: EncodedLayer,
@@ -193,6 +269,26 @@ def abm_fc(
     return abm_conv2d(flat, encoded, ConvGeometry(kernel=1), bias_codes=bias_codes)
 
 
+def abm_fc_batch(
+    feature_codes: np.ndarray,
+    encoded: EncodedLayer,
+    bias_codes: Optional[np.ndarray] = None,
+) -> ABMConvBatchResult:
+    """Batched FC execution: a (B, in_features) matrix in one plan pass.
+
+    The batch dimension becomes the pixel axis — exactly how the paper's
+    accelerator fills its S_ec vector lanes with a batch of images on FC
+    layers. Output shape is (B, out_features, 1, 1).
+    """
+    flat = np.asarray(feature_codes)
+    if flat.ndim != 2:
+        raise ValueError(f"batched FC codes must be (B, features), got {flat.shape}")
+    batch = flat.reshape(flat.shape[0], flat.shape[1], 1, 1)
+    return abm_conv2d_batch(
+        batch, encoded, ConvGeometry(kernel=1), bias_codes=bias_codes
+    )
+
+
 def abm_conv2d_from_codes(
     feature_codes: np.ndarray,
     weight_codes: np.ndarray,
@@ -200,8 +296,13 @@ def abm_conv2d_from_codes(
     bias_codes: Optional[np.ndarray] = None,
     name: str = "layer",
 ) -> ABMConvResult:
-    """Convenience wrapper: encode dense integer weights, then run ABM."""
-    encoded = encode_layer(name, weight_codes)
+    """Convenience wrapper: encode dense integer weights, then run ABM.
+
+    The encoding is memoized on (name, weight content), so calling this
+    per-inference no longer re-runs :func:`repro.core.encoding.encode_layer`
+    on every invocation.
+    """
+    encoded = encode_layer_cached(name, np.asarray(weight_codes))
     return abm_conv2d(feature_codes, encoded, geometry, bias_codes=bias_codes)
 
 

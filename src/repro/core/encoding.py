@@ -22,7 +22,10 @@ whose values fit the 8-bit weight format, a property test in the suite.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
@@ -96,12 +99,46 @@ class EncodedKernel:
             + WT_ENTRY_BYTES * self.nonzero_count
         )
 
+    @cached_property
+    def segment_offsets(self) -> np.ndarray:
+        """CSR-style offsets into :attr:`indices`, one segment per Q-Table
+        entry: segment ``i`` is ``indices[segment_offsets[i]:segment_offsets[i+1]]``.
+
+        Shape ``(qtable_entries + 1,)``. Cached: the flat view is what the
+        compiled execution plan consumes directly.
+        """
+        counts = np.fromiter(
+            (entry.count for entry in self.qtable), dtype=np.int64, count=len(self.qtable)
+        )
+        offsets = np.zeros(len(self.qtable) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return offsets
+
+    @cached_property
+    def segment_values(self) -> np.ndarray:
+        """Per-segment weight value, aligned with :attr:`segment_offsets`."""
+        return np.fromiter(
+            (entry.value for entry in self.qtable), dtype=np.int64, count=len(self.qtable)
+        )
+
+    @cached_property
+    def _materialized_groups(self) -> Tuple[Tuple[int, np.ndarray], ...]:
+        offsets = self.segment_offsets
+        groups = []
+        for i, entry in enumerate(self.qtable):
+            block = self.indices[offsets[i] : offsets[i + 1]]
+            block.setflags(write=False)
+            groups.append((entry.value, block))
+        return tuple(groups)
+
     def value_groups(self) -> Iterable[Tuple[int, np.ndarray]]:
-        """Yield (value, packed index block) pairs in stream order."""
-        offset = 0
-        for entry in self.qtable:
-            yield entry.value, self.indices[offset : offset + entry.count]
-            offset += entry.count
+        """Yield (value, packed index block) pairs in stream order.
+
+        The blocks are materialized once and cached, so hot loops that walk
+        the groups repeatedly (the reference kernel visits them per output
+        pixel) stop re-slicing :attr:`indices` on every iteration.
+        """
+        return iter(self._materialized_groups)
 
 
 def pack_index(n: int, k: int, k2: int, kernel: int) -> int:
@@ -224,3 +261,46 @@ def decode_layer(encoded: EncodedLayer) -> np.ndarray:
 def encoded_model_bytes(layers: Sequence[EncodedLayer]) -> int:
     """Total encoded weight footprint of a model (paper Table 3)."""
     return sum(layer.encoded_bytes for layer in layers)
+
+
+#: Encoded layers kept by :func:`encode_layer_cached` before LRU eviction.
+ENCODE_CACHE_CAPACITY = 32
+
+_encode_cache: "OrderedDict[Tuple[str, Tuple[int, ...], str], EncodedLayer]" = (
+    OrderedDict()
+)
+
+
+def _encode_cache_key(
+    name: str, codes: np.ndarray
+) -> Tuple[str, Tuple[int, ...], str]:
+    digest = hashlib.sha256(np.ascontiguousarray(codes).tobytes()).hexdigest()
+    return (name, tuple(codes.shape), digest)
+
+
+def encode_layer_cached(name: str, weight_codes: np.ndarray) -> EncodedLayer:
+    """Memoized :func:`encode_layer` for hot paths that re-encode per call.
+
+    Keyed by (name, shape, content digest), so repeated calls with the same
+    dense codes — e.g. :func:`repro.core.abm.abm_conv2d_from_codes` inside
+    an inference loop — reuse the encoding instead of re-sorting the whole
+    weight tensor every invocation. A small LRU bounds the footprint.
+    """
+    codes = np.asarray(weight_codes)
+    if not np.issubdtype(codes.dtype, np.integer):
+        raise TypeError("kernel codes must be integers")
+    key = _encode_cache_key(name, codes)
+    cached = _encode_cache.get(key)
+    if cached is not None:
+        _encode_cache.move_to_end(key)
+        return cached
+    encoded = encode_layer(name, codes)
+    _encode_cache[key] = encoded
+    while len(_encode_cache) > ENCODE_CACHE_CAPACITY:
+        _encode_cache.popitem(last=False)
+    return encoded
+
+
+def clear_encode_cache() -> None:
+    """Drop all memoized encodings (tests and long-lived processes)."""
+    _encode_cache.clear()

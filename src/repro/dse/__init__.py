@@ -32,6 +32,7 @@ from .frequency import (
     refine_with_frequency,
 )
 from .multi import JointExplorationResult, JointPoint, explore_joint
+from .parallel import map_jobs
 from .pareto import FrontierSummary, pareto_frontier
 from .performance import (
     MODE_IDEAL,
@@ -96,6 +97,7 @@ __all__ = [
     "SensitivityEntry",
     "SensitivityResult",
     "resource_sensitivity",
+    "map_jobs",
     "FrontierSummary",
     "pareto_frontier",
     "JointExplorationResult",

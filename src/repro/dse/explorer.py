@@ -30,6 +30,7 @@ from ..hw.config import AcceleratorConfig
 from ..hw.device import FPGADevice
 from ..hw.workload import ModelWorkload
 from .bandwidth import BandwidthReport, bandwidth_report
+from .parallel import map_jobs
 from .performance import (
     MODE_QUANTIZED,
     ModelPerformance,
@@ -101,6 +102,22 @@ class NknlPoint:
     feasible: bool
 
 
+def _eval_nknl_point(job) -> Tuple[int, float, int, bool]:
+    """Evaluate one N_knl sweep point: (n_knl, perf, logic, feasible).
+
+    Module-level so :func:`repro.dse.parallel.map_jobs` can ship it to a
+    process pool; the relative boost is derived afterwards because it
+    depends on the sweep's first point.
+    """
+    workload, resources, config, device, logic_limit = job
+    perf = estimate_model(workload, config, mode=MODE_QUANTIZED).throughput_gops
+    estimate = resources.estimate(config)
+    feasible = True
+    if device is not None:
+        feasible = estimate.utilization(device).fits(logic_limit)
+    return config.n_knl, perf, estimate.alms, feasible
+
+
 def sweep_nknl(
     workload: ModelWorkload,
     resources: ResourceModel,
@@ -111,6 +128,7 @@ def sweep_nknl(
     freq_mhz: float = 200.0,
     logic_limit: float = 0.75,
     n_knl_range: Sequence[int] = tuple(range(2, 25)),
+    workers: Optional[int] = None,
 ) -> List[NknlPoint]:
     """Figure 6: normalized performance boost across N_knl.
 
@@ -119,11 +137,12 @@ def sweep_nknl(
     device (when given) are marked infeasible, which is what bounds the
     sweep from above: at S_ec=20, N=4, N_cu=3 the GXA7's 256 DSPs admit at
     most N_knl=15.
+
+    ``workers`` fans the point evaluations out over a process pool;
+    results are identical and identically ordered for any worker count.
     """
-    points = []
-    base_perf: Optional[float] = None
-    base_logic: Optional[float] = None
     buffers = size_buffers(workload, s_ec)
+    jobs = []
     for n_knl in n_knl_range:
         config = AcceleratorConfig(
             n_cu=n_cu,
@@ -135,12 +154,12 @@ def sweep_nknl(
             d_q=buffers.d_q,
             freq_mhz=freq_mhz,
         )
-        perf = estimate_model(workload, config, mode=MODE_QUANTIZED).throughput_gops
-        estimate = resources.estimate(config)
-        feasible = True
-        if device is not None:
-            feasible = estimate.utilization(device).fits(logic_limit)
-        logic = estimate.alms
+        jobs.append((workload, resources, config, device, logic_limit))
+    raw = map_jobs(_eval_nknl_point, jobs, workers)
+    points = []
+    base_perf: Optional[float] = None
+    base_logic: Optional[float] = None
+    for n_knl, perf, logic, feasible in raw:
         if base_perf is None:
             base_perf, base_logic = perf, float(logic)
         boost = (perf / base_perf) / (logic / base_logic)
@@ -183,6 +202,22 @@ class GridPoint:
         return self.config.n_cu
 
 
+def _eval_grid_point(job) -> GridPoint:
+    """Evaluate one (S_ec, N_cu) grid point (module-level for map_jobs)."""
+    workload, device, resources, config, logic_limit = job
+    estimate = resources.estimate(config)
+    utilization = estimate.utilization(device)
+    feasible = utilization.fits(logic_limit)
+    perf = estimate_model(workload, config, mode=MODE_QUANTIZED)
+    return GridPoint(
+        config=config,
+        throughput_gops=perf.throughput_gops,
+        resources=estimate,
+        utilization=utilization,
+        feasible=feasible,
+    )
+
+
 def sweep_sec_ncu(
     workload: ModelWorkload,
     device: FPGADevice,
@@ -193,9 +228,14 @@ def sweep_sec_ncu(
     logic_limit: float = 0.75,
     s_ec_range: Sequence[int] = tuple(range(4, 33, 2)),
     n_cu_range: Sequence[int] = tuple(range(1, 7)),
+    workers: Optional[int] = None,
 ) -> List[GridPoint]:
-    """Figure 7: attainable throughput across the S_ec x N_cu grid."""
-    grid = []
+    """Figure 7: attainable throughput across the S_ec x N_cu grid.
+
+    ``workers`` fans the grid out over a process pool; point order (N_cu
+    outer, S_ec inner) and values are identical for any worker count.
+    """
+    jobs = []
     for n_cu in n_cu_range:
         for s_ec in s_ec_range:
             buffers = size_buffers(workload, s_ec)
@@ -209,20 +249,8 @@ def sweep_sec_ncu(
                 d_q=buffers.d_q,
                 freq_mhz=freq_mhz,
             )
-            estimate = resources.estimate(config)
-            utilization = estimate.utilization(device)
-            feasible = utilization.fits(logic_limit)
-            perf = estimate_model(workload, config, mode=MODE_QUANTIZED)
-            grid.append(
-                GridPoint(
-                    config=config,
-                    throughput_gops=perf.throughput_gops,
-                    resources=estimate,
-                    utilization=utilization,
-                    feasible=feasible,
-                )
-            )
-    return grid
+            jobs.append((workload, device, resources, config, logic_limit))
+    return map_jobs(_eval_grid_point, jobs, workers)
 
 
 def best_candidates(grid: Sequence[GridPoint], count: int = 5) -> List[GridPoint]:
@@ -256,8 +284,13 @@ def explore(
     logic_limit: float = 0.75,
     preset_n_cu: int = 3,
     preset_s_ec: int = 20,
+    workers: Optional[int] = None,
 ) -> ExplorationResult:
-    """Run the full exploration flow of Figure 5."""
+    """Run the full exploration flow of Figure 5.
+
+    ``workers`` parallelizes both sweeps over a process pool; the chosen
+    configuration and every reported point are identical for any value.
+    """
     n_share = share_factor_from_workloads(workload.layers)
     nknl_points = sweep_nknl(
         workload,
@@ -268,6 +301,7 @@ def explore(
         s_ec=preset_s_ec,
         freq_mhz=freq_mhz,
         logic_limit=logic_limit,
+        workers=workers,
     )
     n_knl = optimal_nknl(nknl_points)
     grid = sweep_sec_ncu(
@@ -278,6 +312,7 @@ def explore(
         n_share=n_share,
         freq_mhz=freq_mhz,
         logic_limit=logic_limit,
+        workers=workers,
     )
     candidates = best_candidates(grid)
     if not candidates:

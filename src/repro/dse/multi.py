@@ -11,7 +11,7 @@ against each workload's own best).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..hw.config import AcceleratorConfig
 from ..hw.device import FPGADevice
@@ -66,12 +66,17 @@ def explore_joint(
     freq_mhz: float = 200.0,
     logic_limit: float = 0.75,
     candidates: int = 5,
+    workers: Optional[int] = None,
 ) -> JointExplorationResult:
     """Pick one configuration serving every workload (max-min normalized).
 
     The sharing factor N is set by the most multiply-intensive workload
     (smallest intensity ratio), since an under-provisioned multiplier
     array hurts everyone.
+
+    ``workers`` parallelizes each workload's S_ec x N_cu grid over a
+    process pool; the chosen point and candidate ranking are identical
+    for any worker count.
     """
     if not workloads:
         raise ValueError("need at least one workload")
@@ -94,6 +99,7 @@ def explore_joint(
             n_share=n_share,
             freq_mhz=freq_mhz,
             logic_limit=logic_limit,
+            workers=workers,
         )
         per_model_grid[workload.name] = {
             (point.s_ec, point.n_cu): point for point in grid

@@ -1,0 +1,41 @@
+"""Opt-in process parallelism for DSE sweeps.
+
+The exploration flow evaluates hundreds of independent (config, workload)
+points — the Figure 6/7 sweeps, Pareto dominance checks and joint
+multi-model grids. Every point is a pure function of picklable frozen
+dataclasses, so they fan out cleanly over a process pool.
+
+Parallelism is strictly opt-in: ``workers=None`` (the default everywhere)
+keeps the exact serial code path, and any ``workers`` value produces the
+same results in the same order — ``ProcessPoolExecutor.map`` preserves
+input ordering, and each job is deterministic.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+_Job = TypeVar("_Job")
+_Result = TypeVar("_Result")
+
+
+def map_jobs(
+    fn: Callable[[_Job], _Result],
+    jobs: Sequence[_Job],
+    workers: Optional[int],
+) -> List[_Result]:
+    """Apply ``fn`` to every job, optionally across a process pool.
+
+    ``workers=None`` or ``workers<=1`` runs serially in-process (no pool,
+    no pickling). Otherwise jobs are distributed over ``workers``
+    processes; results come back in input order either way. ``fn`` must be
+    a module-level function and jobs must be picklable.
+    """
+    if workers is not None and workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers is None or workers <= 1 or len(jobs) <= 1:
+        return [fn(job) for job in jobs]
+    chunksize = max(1, len(jobs) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, jobs, chunksize=chunksize))

@@ -10,9 +10,10 @@ no more of *any* resource.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .explorer import GridPoint
+from .parallel import map_jobs
 
 
 def _dominates(a: GridPoint, b: GridPoint) -> bool:
@@ -32,14 +33,42 @@ def _dominates(a: GridPoint, b: GridPoint) -> bool:
     return no_worse and strictly_better
 
 
-def pareto_frontier(grid: Sequence[GridPoint]) -> List[GridPoint]:
-    """Feasible, non-dominated points, sorted by throughput descending."""
-    feasible = [point for point in grid if point.feasible]
-    frontier = [
-        point
-        for point in feasible
-        if not any(_dominates(other, point) for other in feasible)
+def _survivors_chunk(
+    job: Tuple[Sequence[GridPoint], Sequence[GridPoint]]
+) -> List[bool]:
+    """Dominance mask for one chunk of points against the full feasible set.
+
+    Module-level so :func:`repro.dse.parallel.map_jobs` can ship the O(n^2)
+    pairwise checks to a process pool chunk by chunk.
+    """
+    chunk, feasible = job
+    return [
+        not any(_dominates(other, point) for other in feasible)
+        for point in chunk
     ]
+
+
+def pareto_frontier(
+    grid: Sequence[GridPoint], workers: Optional[int] = None
+) -> List[GridPoint]:
+    """Feasible, non-dominated points, sorted by throughput descending.
+
+    ``workers`` distributes the pairwise dominance checks over a process
+    pool; the frontier is identical for any worker count.
+    """
+    feasible = [point for point in grid if point.feasible]
+    if workers is None or workers <= 1:
+        survives = _survivors_chunk((feasible, feasible))
+    else:
+        chunk_size = max(1, -(-len(feasible) // (workers * 4)))
+        jobs = [
+            (feasible[lo : lo + chunk_size], feasible)
+            for lo in range(0, len(feasible), chunk_size)
+        ]
+        survives = [
+            keep for mask in map_jobs(_survivors_chunk, jobs, workers) for keep in mask
+        ]
+    frontier = [point for point, keep in zip(feasible, survives) if keep]
     return sorted(frontier, key=lambda p: -p.throughput_gops)
 
 

@@ -1,17 +1,18 @@
 """Batch inference executor with timing and classification utilities.
 
-The layer/network substrate is single-image (CHW) by design — the paper's
-accelerator processes one image per CU pass and batches only across the
-S_ec vector lanes. This executor adds the host-side conveniences a user
-expects from the library: batched runs, per-layer wall-time profiling and
-top-k extraction.
+Batches run through :meth:`repro.nn.network.Network.forward_batch`: every
+layer processes the whole (B, C, H, W) batch as one array — the software
+analogue of the paper's accelerator filling its S_ec vector lanes — and
+stays numerically identical to per-image execution. The executor adds the
+host-side conveniences on top: timing, per-layer profiling and top-k
+extraction.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -74,25 +75,26 @@ class Executor:
         return arr
 
     def run(self, images: np.ndarray) -> BatchResult:
-        """Run a batch (or a single CHW image) through the network."""
+        """Run a batch (or a single CHW image) through the network.
+
+        The whole batch flows through :meth:`Network.forward_batch` — each
+        layer sees one (B, C, H, W) array rather than a per-image loop.
+        """
         batch = self._validate_batch(images)
         started = time.perf_counter()
-        outputs = np.stack([self.network.forward(image) for image in batch])
+        outputs = self.network.forward_batch(batch)
         return BatchResult(outputs=outputs, seconds=time.perf_counter() - started)
 
     def profile(self, images: np.ndarray) -> BatchResult:
         """Run a batch with per-layer wall-time accounting."""
         batch = self._validate_batch(images)
         timings: Dict[str, float] = {layer.name: 0.0 for layer in self.network}
-        outputs: List[np.ndarray] = []
         started = time.perf_counter()
-        for image in batch:
-            value = image
-            for layer in self.network:
-                layer_start = time.perf_counter()
-                value = layer.forward(value)
-                timings[layer.name] += time.perf_counter() - layer_start
-            outputs.append(value)
+        value = batch
+        for layer in self.network:
+            layer_start = time.perf_counter()
+            value = layer.forward_batch(value)
+            timings[layer.name] += time.perf_counter() - layer_start
         total = time.perf_counter() - started
         profiles = tuple(
             LayerProfile(
@@ -103,7 +105,7 @@ class Executor:
             )
             for layer in self.network
         )
-        return BatchResult(outputs=np.stack(outputs), seconds=total, profiles=profiles)
+        return BatchResult(outputs=value, seconds=total, profiles=profiles)
 
     @staticmethod
     def accelerated_fraction(profiles: Sequence[LayerProfile]) -> float:

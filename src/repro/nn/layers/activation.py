@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..tensor import FeatureShape
-from .base import Layer, require_chw
+from .base import Layer, require_bchw, require_chw
 
 
 class ReLU(Layer):
@@ -17,6 +17,9 @@ class ReLU(Layer):
     def forward(self, features: np.ndarray) -> np.ndarray:
         features = require_chw(features, self)
         return np.maximum(features, 0)
+
+    def forward_batch(self, batch: np.ndarray) -> np.ndarray:
+        return np.maximum(require_bchw(batch, self), 0)
 
 
 class Dropout(Layer):
@@ -34,6 +37,9 @@ class Dropout(Layer):
     def forward(self, features: np.ndarray) -> np.ndarray:
         return require_chw(features, self)
 
+    def forward_batch(self, batch: np.ndarray) -> np.ndarray:
+        return require_bchw(batch, self)
+
 
 class Flatten(Layer):
     """Reshape a CHW map to (C*H*W, 1, 1) ahead of fully-connected layers."""
@@ -44,3 +50,7 @@ class Flatten(Layer):
     def forward(self, features: np.ndarray) -> np.ndarray:
         features = require_chw(features, self)
         return features.reshape(-1, 1, 1)
+
+    def forward_batch(self, batch: np.ndarray) -> np.ndarray:
+        batch = require_bchw(batch, self)
+        return batch.reshape(batch.shape[0], -1, 1, 1)

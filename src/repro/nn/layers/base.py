@@ -34,6 +34,17 @@ class Layer(abc.ABC):
     def forward(self, features: np.ndarray) -> np.ndarray:
         """Run the layer on a CHW feature map."""
 
+    def forward_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Run the layer on a (B, C, H, W) batch.
+
+        The default stacks per-image :meth:`forward` results; layers with a
+        genuinely batched implementation override this. Integer layers are
+        bit-exact against the per-image path; float matmul layers may
+        differ by BLAS summation order (ulp-level).
+        """
+        arr = require_bchw(batch, self)
+        return np.stack([self.forward(image) for image in arr])
+
     @property
     def parameter_count(self) -> int:
         """Number of trainable parameters (0 for stateless layers)."""
@@ -63,5 +74,15 @@ def require_chw(features: np.ndarray, layer: Layer) -> np.ndarray:
     if arr.ndim != 3:
         raise ValueError(
             f"layer {layer.name!r} expects a CHW feature map, got shape {arr.shape}"
+        )
+    return arr
+
+
+def require_bchw(batch: np.ndarray, layer: Layer) -> np.ndarray:
+    """Validate that a feature-map batch is a 4-D BCHW array."""
+    arr = np.asarray(batch)
+    if arr.ndim != 4:
+        raise ValueError(
+            f"layer {layer.name!r} expects a BCHW batch, got shape {arr.shape}"
         )
     return arr

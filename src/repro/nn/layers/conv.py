@@ -12,17 +12,23 @@ from typing import Optional
 import numpy as np
 
 from ..tensor import FeatureShape, conv_output_extent
-from .base import Layer, require_chw
+from .base import Layer, require_bchw, require_chw
 
 
 def im2col(
-    features: np.ndarray, kernel: int, stride: int, padding: int
+    features: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Unfold a CHW feature map into a (out_pixels, C*K*K) patch matrix.
 
     Rows are ordered row-major over output positions; columns are ordered
     (channel, kernel_row, kernel_col) — exactly the (n, k, k') index order
-    the paper's weight encoding uses.
+    the paper's weight encoding uses. ``out``, when given, must be a
+    C-contiguous (out_pixels, C*K*K) array; hot paths pass a reused scratch
+    buffer to skip the per-call allocation.
     """
     channels, rows, cols = features.shape
     if padding:
@@ -35,10 +41,16 @@ def im2col(
     windows = np.lib.stride_tricks.sliding_window_view(
         features, (kernel, kernel), axis=(1, 2)
     )[:, ::stride, ::stride]
-    patches = windows.transpose(1, 2, 0, 3, 4).reshape(
-        out_rows * out_cols, channels * kernel * kernel
-    )
-    return np.ascontiguousarray(patches)
+    stacked = windows.transpose(1, 2, 0, 3, 4)
+    if out is None:
+        return np.ascontiguousarray(stacked).reshape(
+            out_rows * out_cols, channels * kernel * kernel
+        )
+    expected = (out_rows * out_cols, channels * kernel * kernel)
+    if out.shape != expected:
+        raise ValueError(f"im2col out buffer must have shape {expected}, got {out.shape}")
+    np.copyto(out.reshape(out_rows, out_cols, channels, kernel, kernel), stacked)
+    return out
 
 
 class Conv2D(Layer):
@@ -156,5 +168,40 @@ class Conv2D(Layer):
             result = patches @ kernels.T + self._bias[g * group_out : (g + 1) * group_out]
             output[g * group_out : (g + 1) * group_out] = result.T.reshape(
                 group_out, out_shape.rows, out_shape.cols
+            )
+        return output
+
+    def forward_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Batched im2col forward: one matmul per group over B*P patch rows."""
+        batch = require_bchw(batch, self)
+        images = batch.shape[0]
+        out_shape = self.output_shape(FeatureShape(*batch.shape[1:]))
+        pixels = out_shape.rows * out_shape.cols
+        group_in = self.in_channels // self.groups
+        group_out = self.out_channels // self.groups
+        output = np.empty(
+            (images,) + out_shape.as_tuple(),
+            dtype=np.result_type(batch, self._weights),
+        )
+        for g in range(self.groups):
+            patches = np.concatenate(
+                [
+                    im2col(
+                        batch[i, g * group_in : (g + 1) * group_in],
+                        self.kernel,
+                        self.stride,
+                        self.padding,
+                    )
+                    for i in range(images)
+                ]
+            )
+            kernels = self._weights[g * group_out : (g + 1) * group_out].reshape(
+                group_out, -1
+            )
+            result = patches @ kernels.T + self._bias[g * group_out : (g + 1) * group_out]
+            output[:, g * group_out : (g + 1) * group_out] = (
+                result.reshape(images, pixels, group_out)
+                .transpose(0, 2, 1)
+                .reshape(images, group_out, out_shape.rows, out_shape.cols)
             )
         return output

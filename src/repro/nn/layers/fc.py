@@ -95,3 +95,17 @@ class FullyConnected(Layer):
             )
         result = self._weights @ flat + self._bias
         return result.reshape(self.out_features, 1, 1)
+
+    def forward_batch(self, batch: np.ndarray) -> np.ndarray:
+        arr = np.asarray(batch)
+        if arr.ndim != 4:
+            raise ValueError(
+                f"layer {self.name!r} expects a BCHW batch, got shape {arr.shape}"
+            )
+        flat = arr.reshape(arr.shape[0], -1)
+        if flat.shape[1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} inputs, got {flat.shape[1]}"
+            )
+        result = flat @ self._weights.T + self._bias
+        return result.reshape(arr.shape[0], self.out_features, 1, 1)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..tensor import FeatureShape
-from .base import Layer, require_chw
+from .base import Layer, require_bchw, require_chw
 
 
 class LocalResponseNorm(Layer):
@@ -48,3 +48,18 @@ class LocalResponseNorm(Layer):
         window_sums = prefix[hi] - prefix[lo]
         denom = (self.k + (self.alpha / self.local_size) * window_sums) ** self.beta
         return features / denom
+
+    def forward_batch(self, batch: np.ndarray) -> np.ndarray:
+        batch = require_bchw(batch, self).astype(np.float64)
+        channels = batch.shape[1]
+        squared = batch**2
+        half = self.local_size // 2
+        prefix = np.concatenate(
+            [np.zeros((batch.shape[0], 1) + squared.shape[2:]), np.cumsum(squared, axis=1)],
+            axis=1,
+        )
+        lo = np.clip(np.arange(channels) - half, 0, channels)
+        hi = np.clip(np.arange(channels) + half + 1, 0, channels)
+        window_sums = prefix[:, hi] - prefix[:, lo]
+        denom = (self.k + (self.alpha / self.local_size) * window_sums) ** self.beta
+        return batch / denom

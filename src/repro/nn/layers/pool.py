@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..tensor import FeatureShape, pool_output_extent
-from .base import Layer, require_chw
+from .base import Layer, require_bchw, require_chw
 
 
 class _Pool2D(Layer):
@@ -59,6 +59,17 @@ class MaxPool2D(_Pool2D):
         windows = self._windows(features.astype(np.float64), fill=-np.inf)
         return windows.max(axis=(3, 4))
 
+    def forward_batch(self, batch: np.ndarray) -> np.ndarray:
+        # The window machinery only touches the trailing two axes, so the
+        # batch folds into the channel axis and unfolds after the reduce.
+        batch = require_bchw(batch, self)
+        b, c, h, w = batch.shape
+        windows = self._windows(
+            batch.reshape(b * c, h, w).astype(np.float64), fill=-np.inf
+        )
+        pooled = windows.max(axis=(3, 4))
+        return pooled.reshape(b, c, pooled.shape[1], pooled.shape[2])
+
 
 class AvgPool2D(_Pool2D):
     """Average pooling over KxK windows (tail windows average real pixels)."""
@@ -68,3 +79,13 @@ class AvgPool2D(_Pool2D):
         valid = self._windows(np.ones_like(features, dtype=np.float64), fill=0.0)
         windows = self._windows(features.astype(np.float64), fill=0.0)
         return windows.sum(axis=(3, 4)) / valid.sum(axis=(3, 4))
+
+    def forward_batch(self, batch: np.ndarray) -> np.ndarray:
+        batch = require_bchw(batch, self)
+        b, c, h, w = batch.shape
+        # Valid-pixel counts depend only on geometry: one (c, h, w) pass.
+        valid = self._windows(np.ones((c, h, w), dtype=np.float64), fill=0.0)
+        counts = valid.sum(axis=(3, 4))
+        windows = self._windows(batch.reshape(b * c, h, w).astype(np.float64), fill=0.0)
+        sums = windows.sum(axis=(3, 4))
+        return sums.reshape(b, c, sums.shape[1], sums.shape[2]) / counts

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..tensor import FeatureShape
-from .base import Layer, require_chw
+from .base import Layer, require_bchw, require_chw
 
 
 class Softmax(Layer):
@@ -19,3 +19,9 @@ class Softmax(Layer):
         shifted = features - features.max(axis=0, keepdims=True)
         exp = np.exp(shifted)
         return exp / exp.sum(axis=0, keepdims=True)
+
+    def forward_batch(self, batch: np.ndarray) -> np.ndarray:
+        batch = require_bchw(batch, self).astype(np.float64)
+        shifted = batch - batch.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)

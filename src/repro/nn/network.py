@@ -115,6 +115,25 @@ class Network:
             raise KeyError(f"no layer named {upto!r} in network {self.name!r}")
         return arr
 
+    def forward_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Run a (B, C, H, W) batch through every layer's batched path.
+
+        The batch genuinely flows through each layer as one array instead
+        of a Python loop over images. Integer/quantized execution is
+        bit-exact against per-image :meth:`forward`; float conv/FC layers
+        may differ at the ulp level (BLAS summation order).
+        """
+        arr = np.asarray(batch)
+        expected = self.input_shape.as_tuple()
+        if arr.ndim != 4 or arr.shape[1:] != expected:
+            raise ValueError(
+                f"network {self.name!r} expects a (batch, {expected[0]}, "
+                f"{expected[1]}, {expected[2]}) array, got {arr.shape}"
+            )
+        for layer in self.layers:
+            arr = layer.forward_batch(arr)
+        return arr
+
     def activations(self, features: np.ndarray) -> Dict[str, np.ndarray]:
         """Run inference and capture every layer's output (for calibration)."""
         arr = np.asarray(features)

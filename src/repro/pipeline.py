@@ -19,7 +19,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from .core.abm import ABMConvResult, ConvGeometry, abm_conv2d
+from .core.abm import ABMConvBatchResult, ABMConvResult, ConvGeometry, abm_conv2d, abm_conv2d_batch
 from .core.encoding import EncodedLayer, encode_layer
 from .nn.layers import (
     AvgPool2D,
@@ -259,6 +259,88 @@ class QuantizedPipeline:
         if isinstance(layer, (AvgPool2D, LocalResponseNorm, Softmax)):
             # Host layers: dequantize, run float, requantize.
             real = layer.forward(fmt.dequantize(codes))
+            out_fmt = self.output_fmts.get(layer.name, fmt)
+            return out_fmt.quantize(real), out_fmt, None
+        raise TypeError(f"pipeline cannot execute layer {layer!r}")
+
+    def run_batch(self, images: np.ndarray) -> List[InferenceResult]:
+        """Batched quantized inference, bit-exact against per-image run().
+
+        ``images`` is a (B, C, H, W) array or a sequence of CHW images. The
+        whole batch flows through every layer as one array — accelerated
+        layers stack the batch into the ABM plan's pixel axis — and the
+        result is one :class:`InferenceResult` per image, with each image
+        carrying its exact per-image share of the layer op counts (counts
+        are per-pixel constants, so the share is exact).
+        """
+        if self.input_fmt is None or not self.compiled:
+            raise RuntimeError("pipeline must be calibrated and quantized first")
+        batch = np.asarray(images)
+        if batch.ndim == 3:
+            batch = batch[None]
+        if batch.ndim != 4:
+            raise ValueError(f"expected a BCHW batch, got shape {batch.shape}")
+        b = batch.shape[0]
+        codes = self.input_fmt.quantize(batch)
+        fmt = self.input_fmt
+        stats: List[LayerRunStats] = []
+        for layer in self.network:
+            codes, fmt, layer_stats = self._run_layer_batch(layer, codes, fmt)
+            if layer_stats is not None:
+                stats.append(layer_stats)
+        outputs = fmt.dequantize(codes)
+        return [
+            InferenceResult(
+                output=outputs[i],
+                layer_stats=[
+                    LayerRunStats(
+                        name=s.name,
+                        accumulate_ops=s.accumulate_ops // b,
+                        multiply_ops=s.multiply_ops // b,
+                    )
+                    for s in stats
+                ],
+            )
+            for i in range(b)
+        ]
+
+    def _run_layer_batch(
+        self, layer, codes: np.ndarray, fmt: QFormat
+    ) -> Tuple[np.ndarray, QFormat, Optional[LayerRunStats]]:
+        """Batched twin of :meth:`_run_layer`; op counts are batch totals."""
+        name = layer.name
+        if name in self.compiled:
+            compiled = self.compiled[name]
+            datapath_fmt = QFormat(32, fmt.frac_bits + compiled.weight_fmt.frac_bits)
+            bias_codes = datapath_fmt.quantize(compiled.bias_codes)
+            if compiled.is_fc:
+                flat = codes.reshape(codes.shape[0], -1, 1, 1)
+                result: ABMConvBatchResult = abm_conv2d_batch(
+                    flat, compiled.encoded, compiled.geometry, bias_codes=bias_codes
+                )
+            else:
+                result = abm_conv2d_batch(
+                    codes, compiled.encoded, compiled.geometry, bias_codes=bias_codes
+                )
+            out_fmt = compiled.output_fmt
+            out_codes = out_fmt.quantize(datapath_fmt.dequantize(result.output))
+            return (
+                out_codes,
+                out_fmt,
+                LayerRunStats(
+                    name=name,
+                    accumulate_ops=result.accumulate_ops,
+                    multiply_ops=result.multiply_ops,
+                ),
+            )
+        if isinstance(layer, (ReLU,)):
+            return np.maximum(codes, 0), fmt, None
+        if isinstance(layer, MaxPool2D):
+            return layer.forward_batch(codes).astype(np.int64), fmt, None
+        if isinstance(layer, (Flatten, Dropout)):
+            return layer.forward_batch(codes).astype(np.int64), fmt, None
+        if isinstance(layer, (AvgPool2D, LocalResponseNorm, Softmax)):
+            real = layer.forward_batch(fmt.dequantize(codes))
             out_fmt = self.output_fmts.get(layer.name, fmt)
             return out_fmt.quantize(real), out_fmt, None
         raise TypeError(f"pipeline cannot execute layer {layer!r}")

@@ -1,0 +1,111 @@
+"""Tests for opt-in parallel DSE sweeps (repro.dse.parallel).
+
+Parallelism must be purely an execution detail: any ``workers`` value
+returns the same points in the same order as the serial path.
+"""
+
+import pytest
+
+from repro.dse import (
+    explore,
+    explore_joint,
+    map_jobs,
+    pareto_frontier,
+    sweep_nknl,
+    sweep_sec_ncu,
+)
+from repro.dse.resources import DEFAULT_RESOURCE_MODEL
+from repro.hw import STRATIX_V_GXA7
+from repro.workloads import synthetic_model_workload
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_model_workload("alexnet", seed=1)
+
+
+class TestMapJobs:
+    def test_serial_default(self):
+        assert map_jobs(_square, [1, 2, 3], None) == [1, 4, 9]
+
+    def test_workers_one_is_serial(self):
+        assert map_jobs(_square, [3, 4], 1) == [9, 16]
+
+    def test_pool_preserves_order(self):
+        jobs = list(range(23))
+        assert map_jobs(_square, jobs, 2) == [x * x for x in jobs]
+
+    def test_single_job_skips_pool(self):
+        assert map_jobs(_square, [7], 4) == [49]
+
+    def test_empty_jobs(self):
+        assert map_jobs(_square, [], 2) == []
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            map_jobs(_square, [1], -1)
+
+    def test_lambda_serial_ok(self):
+        # Serial path never pickles, so lambdas are fine with workers=None.
+        assert map_jobs(lambda x: x + 1, [1, 2], None) == [2, 3]
+
+
+class TestSweepDeterminism:
+    def test_nknl_sweep_matches_serial(self, workload):
+        kwargs = dict(
+            resources=DEFAULT_RESOURCE_MODEL,
+            n_share=4,
+            device=STRATIX_V_GXA7,
+            n_knl_range=tuple(range(2, 12)),
+        )
+        serial = sweep_nknl(workload, **kwargs)
+        parallel = sweep_nknl(workload, workers=2, **kwargs)
+        assert serial == parallel
+
+    def test_grid_sweep_matches_serial(self, workload):
+        kwargs = dict(
+            device=STRATIX_V_GXA7,
+            resources=DEFAULT_RESOURCE_MODEL,
+            n_knl=14,
+            n_share=4,
+            s_ec_range=(8, 16, 24),
+            n_cu_range=(1, 2, 3),
+        )
+        serial = sweep_sec_ncu(workload, **kwargs)
+        parallel = sweep_sec_ncu(workload, workers=2, **kwargs)
+        assert serial == parallel
+        # Order is N_cu outer, S_ec inner regardless of worker count.
+        assert [(p.n_cu, p.s_ec) for p in parallel] == [
+            (n_cu, s_ec) for n_cu in (1, 2, 3) for s_ec in (8, 16, 24)
+        ]
+
+    def test_pareto_frontier_matches_serial(self, workload):
+        grid = sweep_sec_ncu(
+            workload,
+            STRATIX_V_GXA7,
+            DEFAULT_RESOURCE_MODEL,
+            n_knl=14,
+            n_share=4,
+        )
+        assert pareto_frontier(grid) == pareto_frontier(grid, workers=2)
+
+    def test_explore_matches_serial(self, workload):
+        serial = explore(workload, STRATIX_V_GXA7)
+        parallel = explore(workload, STRATIX_V_GXA7, workers=2)
+        assert serial.chosen == parallel.chosen
+        assert serial.chosen_n_knl == parallel.chosen_n_knl
+        assert serial.nknl_sweep == parallel.nknl_sweep
+        assert serial.grid == parallel.grid
+        assert serial.candidates == parallel.candidates
+
+    def test_explore_joint_matches_serial(self, workload):
+        vgg = synthetic_model_workload("vgg16", seed=1)
+        serial = explore_joint([workload, vgg], STRATIX_V_GXA7)
+        parallel = explore_joint([workload, vgg], STRATIX_V_GXA7, workers=2)
+        assert serial.chosen == parallel.chosen
+        assert serial.candidates == parallel.candidates
+        assert serial.best_single == parallel.best_single
