@@ -65,8 +65,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     config = PAPER_CONFIG_VGG16 if args.model == "vgg16" else PAPER_CONFIG_ALEXNET
     device = get_device(args.device)
     workload = synthetic_model_workload(args.model, seed=args.seed)
-    simulator = AcceleratorSimulator(config, device)
-    result = simulator.simulate(workload)
+    simulator = AcceleratorSimulator(config, device, use_cache=not args.no_cache)
+    result = simulator.simulate(workload, workers=args.workers)
     print(f"model: {args.model}   config: {config.describe()}")
     print(simulator.utilization_summary(result))
     print()
@@ -279,6 +279,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim = sub.add_parser("simulate", help="simulate a model on the accelerator")
     p_sim.add_argument("--model", choices=("alexnet", "vgg16"), default="vgg16")
     p_sim.add_argument("--device", default="Stratix-V GXA7")
+    p_sim.add_argument("--no-cache", action="store_true",
+                       help="bypass the layer-simulation result cache")
+    p_sim.add_argument("--workers", type=int, default=None,
+                       help="parallel layer-simulation processes")
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_dse = sub.add_parser("explore", help="run design space exploration")

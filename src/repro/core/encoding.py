@@ -23,6 +23,7 @@ whose values fit the 8-bit weight format, a property test in the suite.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from functools import cached_property
@@ -269,6 +270,8 @@ ENCODE_CACHE_CAPACITY = 32
 _encode_cache: "OrderedDict[Tuple[str, Tuple[int, ...], str], EncodedLayer]" = (
     OrderedDict()
 )
+#: Guards LRU mutations — serve workers and parallel simulation can race.
+_encode_lock = threading.Lock()
 
 
 def _encode_cache_key(
@@ -290,17 +293,26 @@ def encode_layer_cached(name: str, weight_codes: np.ndarray) -> EncodedLayer:
     if not np.issubdtype(codes.dtype, np.integer):
         raise TypeError("kernel codes must be integers")
     key = _encode_cache_key(name, codes)
-    cached = _encode_cache.get(key)
-    if cached is not None:
-        _encode_cache.move_to_end(key)
-        return cached
+    with _encode_lock:
+        cached = _encode_cache.get(key)
+        if cached is not None:
+            _encode_cache.move_to_end(key)
+            return cached
+    # Encode outside the lock (it is the expensive part); racing threads may
+    # both encode, but the first insert wins so callers share one object.
     encoded = encode_layer(name, codes)
-    _encode_cache[key] = encoded
-    while len(_encode_cache) > ENCODE_CACHE_CAPACITY:
-        _encode_cache.popitem(last=False)
+    with _encode_lock:
+        cached = _encode_cache.get(key)
+        if cached is not None:
+            _encode_cache.move_to_end(key)
+            return cached
+        _encode_cache[key] = encoded
+        while len(_encode_cache) > ENCODE_CACHE_CAPACITY:
+            _encode_cache.popitem(last=False)
     return encoded
 
 
 def clear_encode_cache() -> None:
     """Drop all memoized encodings (tests and long-lived processes)."""
-    _encode_cache.clear()
+    with _encode_lock:
+        _encode_cache.clear()

@@ -38,6 +38,7 @@ worst-case partial sums provably fit, halving memory traffic.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Tuple
@@ -518,12 +519,16 @@ class LayerPlan:
 
 _plan_cache: "OrderedDict[Tuple[int, Hashable], LayerPlan]" = OrderedDict()
 _plan_refs: Dict[int, "weakref.ref[EncodedLayer]"] = {}
+#: Reentrant: a weakref.finalize eviction can fire from a GC triggered while
+#: compile_layer_plan already holds the lock in the same thread.
+_plan_lock = threading.RLock()
 
 
 def _evict_plans(encoded_id: int) -> None:
-    _plan_refs.pop(encoded_id, None)
-    for key in [k for k in _plan_cache if k[0] == encoded_id]:
-        del _plan_cache[key]
+    with _plan_lock:
+        _plan_refs.pop(encoded_id, None)
+        for key in [k for k in _plan_cache if k[0] == encoded_id]:
+            del _plan_cache[key]
 
 
 def compile_layer_plan(encoded: EncodedLayer, geometry: "ConvGeometry") -> LayerPlan:
@@ -532,32 +537,40 @@ def compile_layer_plan(encoded: EncodedLayer, geometry: "ConvGeometry") -> Layer
     Keyed by the encoded layer's identity (encodings are immutable) and the
     geometry; entries are evicted when the encoded layer is garbage
     collected, and an LRU bound caps the cache for long-lived processes.
+    Lookup and insertion are lock-guarded — serve workers and parallel
+    simulation may compile plans concurrently.
     """
     key = (id(encoded), geometry)
-    plan = _plan_cache.get(key)
-    if plan is not None:
-        ref = _plan_refs.get(id(encoded))
-        if ref is not None and ref() is encoded:
-            _plan_cache.move_to_end(key)
-            return plan
-        _evict_plans(id(encoded))
+    with _plan_lock:
+        plan = _plan_cache.get(key)
+        if plan is not None:
+            ref = _plan_refs.get(id(encoded))
+            if ref is not None and ref() is encoded:
+                _plan_cache.move_to_end(key)
+                return plan
+            _evict_plans(id(encoded))
+    # Compile outside the lock: plans are deterministic, so if two threads
+    # race on the same key the loser's insert is a harmless overwrite.
     plan = LayerPlan(encoded, geometry)
-    _plan_cache[key] = plan
-    if id(encoded) not in _plan_refs:
-        _plan_refs[id(encoded)] = weakref.ref(encoded)
-        weakref.finalize(encoded, _evict_plans, id(encoded))
-    while len(_plan_cache) > PLAN_CACHE_CAPACITY:
-        old_key, _ = _plan_cache.popitem(last=False)
-        if not any(k[0] == old_key[0] for k in _plan_cache):
-            _plan_refs.pop(old_key[0], None)
+    with _plan_lock:
+        _plan_cache[key] = plan
+        if id(encoded) not in _plan_refs:
+            _plan_refs[id(encoded)] = weakref.ref(encoded)
+            weakref.finalize(encoded, _evict_plans, id(encoded))
+        while len(_plan_cache) > PLAN_CACHE_CAPACITY:
+            old_key, _ = _plan_cache.popitem(last=False)
+            if not any(k[0] == old_key[0] for k in _plan_cache):
+                _plan_refs.pop(old_key[0], None)
     return plan
 
 
 def clear_plan_cache() -> None:
     """Drop all compiled plans (tests and memory-sensitive callers)."""
-    _plan_cache.clear()
-    _plan_refs.clear()
+    with _plan_lock:
+        _plan_cache.clear()
+        _plan_refs.clear()
 
 
 def plan_cache_size() -> int:
-    return len(_plan_cache)
+    with _plan_lock:
+        return len(_plan_cache)

@@ -55,9 +55,21 @@ class DeployedModel:
             handle.write(self.blob)
         return len(self.blob)
 
-    def simulate(self, device: FPGADevice = STRATIX_V_GXA7) -> ModelSimResult:
-        """Estimate the deployment's performance on a device."""
-        return AcceleratorSimulator(self.config, device).simulate(self.workload)
+    def simulate(
+        self,
+        device: FPGADevice = STRATIX_V_GXA7,
+        cache: bool = True,
+        workers: Optional[int] = None,
+    ) -> ModelSimResult:
+        """Estimate the deployment's performance on a device.
+
+        Routed through the process-wide layer-simulation result cache, so
+        repeated deployments of the same workload (serve pools, DSE sweeps)
+        do not re-simulate; pass ``cache=False`` to bypass it. ``workers``
+        opts into parallel multi-layer simulation.
+        """
+        simulator = AcceleratorSimulator(self.config, device, use_cache=cache)
+        return simulator.simulate(self.workload, workers=workers)
 
 
 def deploy(

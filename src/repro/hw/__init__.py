@@ -8,7 +8,13 @@ bit-accurate :class:`~repro.hw.cu.FunctionalCU` model additionally verifies
 the datapath's numerics against the reference algorithm.
 """
 
-from .accelerator import AcceleratorSimulator, ModelSimResult
+from .accelerator import (
+    AcceleratorSimulator,
+    ModelSimResult,
+    clear_sim_cache,
+    sim_cache_size,
+    sim_cache_stats,
+)
 from .address_gen import AddressGenerator, FeatureAddress
 from .buffers import (
     BufferRequirement,
@@ -23,8 +29,10 @@ from .cu import (
     TASK_LAUNCH_CYCLES,
     ConvTask,
     FunctionalCU,
+    GroupCostVector,
     TaskCost,
     task_cycles,
+    task_cycles_batch,
 )
 from .device import (
     ARRIA_10_GT1150,
@@ -51,8 +59,11 @@ from .scheduler import (
     SYNC_CYCLES,
     LayerSimResult,
     build_tasks,
+    compile_window_schedules,
     make_kernel_groups,
     simulate_layer,
+    simulate_layer_fast,
+    simulate_layer_reference,
 )
 from .emulation import EmulationResult, emulate_layer
 from .faults import (
@@ -76,6 +87,9 @@ from .workload import (
 __all__ = [
     "AcceleratorSimulator",
     "ModelSimResult",
+    "clear_sim_cache",
+    "sim_cache_size",
+    "sim_cache_stats",
     "AddressGenerator",
     "FeatureAddress",
     "BufferRequirement",
@@ -88,7 +102,9 @@ __all__ = [
     "PAPER_CONFIG_VGG16",
     "ConvTask",
     "TaskCost",
+    "GroupCostVector",
     "task_cycles",
+    "task_cycles_batch",
     "FunctionalCU",
     "TASK_LAUNCH_CYCLES",
     "PIPELINE_FILL_CYCLES",
@@ -114,6 +130,9 @@ __all__ = [
     "mac_array_power",
     "LayerSimResult",
     "simulate_layer",
+    "simulate_layer_fast",
+    "simulate_layer_reference",
+    "compile_window_schedules",
     "build_tasks",
     "make_kernel_groups",
     "POLICY_NATURAL",

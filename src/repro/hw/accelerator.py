@@ -5,12 +5,22 @@ layer-level event simulation and aggregates the figures the paper reports:
 inference time, throughput in GOP/s (normalized, as in the paper, to the
 *original dense* op count of the model), performance density per DSP, CU
 utilization and the external-bandwidth picture.
+
+Layer results are memoized in a process-wide LRU keyed on (workload
+fingerprint, config, device bandwidth, policy): per-layer simulations are
+independent pure functions of those inputs, so DSE sweeps, repeated
+``SystemRuntime``/serve deployments and the experiment suite stop
+re-simulating identical layers. ``simulate(..., workers=N)`` optionally
+fans uncached layers out over a process pool with deterministic result
+ordering.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -18,7 +28,70 @@ from .config import AcceleratorConfig
 from .device import FPGADevice
 from .memory import ExternalMemory
 from .scheduler import POLICY_BALANCED, LayerSimResult, simulate_layer
-from .workload import ModelWorkload
+from .workload import LayerWorkload, ModelWorkload
+
+#: DDR bandwidth assumed when no device is given (the DE5-Net's DDR3).
+DEFAULT_BANDWIDTH_GBS = 12.8
+
+#: Layer results kept before LRU eviction. One entry per distinct
+#: (layer workload, config, bandwidth, policy) — full-model simulations of
+#: AlexNet/VGG16-class networks need a few tens of entries each.
+SIM_CACHE_CAPACITY = 4096
+
+_SimKey = Tuple[LayerWorkload, AcceleratorConfig, float, str]
+_sim_cache: "OrderedDict[_SimKey, LayerSimResult]" = OrderedDict()
+_sim_cache_lock = threading.Lock()
+_sim_cache_hits = 0
+_sim_cache_misses = 0
+
+
+def _sim_cache_get(key: _SimKey) -> Optional[LayerSimResult]:
+    global _sim_cache_hits, _sim_cache_misses
+    with _sim_cache_lock:
+        result = _sim_cache.get(key)
+        if result is not None:
+            _sim_cache.move_to_end(key)
+            _sim_cache_hits += 1
+        else:
+            _sim_cache_misses += 1
+        return result
+
+
+def _sim_cache_put(key: _SimKey, result: LayerSimResult) -> None:
+    with _sim_cache_lock:
+        _sim_cache[key] = result
+        _sim_cache.move_to_end(key)
+        while len(_sim_cache) > SIM_CACHE_CAPACITY:
+            _sim_cache.popitem(last=False)
+
+
+def clear_sim_cache() -> None:
+    """Drop all cached layer simulations (tests, memory-sensitive callers)."""
+    global _sim_cache_hits, _sim_cache_misses
+    with _sim_cache_lock:
+        _sim_cache.clear()
+        _sim_cache_hits = 0
+        _sim_cache_misses = 0
+
+
+def sim_cache_size() -> int:
+    with _sim_cache_lock:
+        return len(_sim_cache)
+
+
+def sim_cache_stats() -> Tuple[int, int]:
+    """(hits, misses) since the last :func:`clear_sim_cache`."""
+    with _sim_cache_lock:
+        return _sim_cache_hits, _sim_cache_misses
+
+
+def _simulate_layer_job(
+    job: Tuple[LayerWorkload, AcceleratorConfig, float, str, bool]
+) -> LayerSimResult:
+    """Module-level worker so parallel jobs pickle cleanly."""
+    layer, config, bandwidth_gbs, policy, fast = job
+    memory = ExternalMemory(bandwidth_gbs=bandwidth_gbs, freq_mhz=config.freq_mhz)
+    return simulate_layer(layer, config, memory, policy=policy, fast=fast)
 
 
 @dataclass(frozen=True)
@@ -105,35 +178,79 @@ class ModelSimResult:
 
 
 class AcceleratorSimulator:
-    """Simulates the ABM-SpConv accelerator on model workloads."""
+    """Simulates the ABM-SpConv accelerator on model workloads.
+
+    ``fast`` selects the vectorized scheduler (identical results; see
+    :mod:`repro.hw.scheduler`); ``use_cache`` routes layers through the
+    process-wide result cache.
+    """
 
     def __init__(
         self,
         config: AcceleratorConfig,
         device: Optional[FPGADevice] = None,
         policy: str = POLICY_BALANCED,
+        fast: bool = True,
+        use_cache: bool = True,
     ) -> None:
         self.config = config
         self.device = device
         self.policy = policy
+        self.fast = fast
+        self.use_cache = use_cache
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        return self.device.bandwidth_gbs if self.device else DEFAULT_BANDWIDTH_GBS
 
     def _memory(self) -> ExternalMemory:
-        bandwidth = self.device.bandwidth_gbs if self.device else 12.8
-        return ExternalMemory(bandwidth_gbs=bandwidth, freq_mhz=self.config.freq_mhz)
-
-    def simulate(self, workload: ModelWorkload) -> ModelSimResult:
-        """Run every layer and aggregate."""
-        memory = self._memory()
-        results = tuple(
-            simulate_layer(layer, self.config, memory, policy=self.policy)
-            for layer in workload.layers
+        return ExternalMemory(
+            bandwidth_gbs=self.bandwidth_gbs, freq_mhz=self.config.freq_mhz
         )
+
+    def _key(self, layer: LayerWorkload) -> _SimKey:
+        # LayerWorkload hashes by value (frozen dataclass of plain figures),
+        # so equal workloads hit regardless of where they were constructed.
+        return (layer, self.config, self.bandwidth_gbs, self.policy)
+
+    def simulate(
+        self, workload: ModelWorkload, workers: Optional[int] = None
+    ) -> ModelSimResult:
+        """Run every layer and aggregate.
+
+        ``workers`` fans uncached layers out over a process pool
+        (``repro.dse.parallel.map_jobs``); results come back in layer order
+        either way, and cached layers are never re-simulated.
+        """
+        layers = workload.layers
+        results: List[Optional[LayerSimResult]] = [None] * len(layers)
+        pending: List[int] = []
+        for index, layer in enumerate(layers):
+            cached = self._sim_cache_probe(layer) if self.use_cache else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+        if pending:
+            from ..dse.parallel import map_jobs  # local: avoids import cycle
+
+            jobs = [
+                (layers[i], self.config, self.bandwidth_gbs, self.policy, self.fast)
+                for i in pending
+            ]
+            for index, result in zip(pending, map_jobs(_simulate_layer_job, jobs, workers)):
+                results[index] = result
+                if self.use_cache:
+                    _sim_cache_put(self._key(layers[index]), result)
         return ModelSimResult(
             model=workload.name,
             config=self.config,
-            layers=results,
+            layers=tuple(results),
             dense_ops=workload.dense_ops,
         )
+
+    def _sim_cache_probe(self, layer: LayerWorkload) -> Optional[LayerSimResult]:
+        return _sim_cache_get(self._key(layer))
 
     def utilization_summary(self, result: ModelSimResult) -> str:
         """Human-readable per-layer utilization table."""

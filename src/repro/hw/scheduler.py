@@ -13,18 +13,36 @@ window t's compute through the double-buffered FT-Buffer; a barrier closes
 every window. Per-CU busy cycles, lane-level work and memory stalls are
 tracked so the experiments can report CU utilization the way the paper does
 (87% for VGG16, 81% for AlexNet against [2]'s 64.5%).
+
+Two implementations produce *identical* results:
+
+- :func:`simulate_layer_reference` — the per-task event loop: one
+  :class:`~repro.hw.cu.ConvTask` object and one scalar
+  :func:`~repro.hw.cu.task_cycles` call per (window, kernel-group) pair.
+- :func:`simulate_layer_fast` — the vectorized fast path. Task costs are a
+  pure function of (group work figures, window pixels, config) and tasks
+  repeat identically across windows, so per-group cost vectors are computed
+  once per distinct window size with :func:`~repro.hw.cu.task_cycles_batch`,
+  pre-sorted into LPT dispatch order, and the event loop degenerates to an
+  array walk with an O(n_cu) earliest-free scan that replicates the
+  reference heap's (free_at, cu) tie-breaking exactly.
+
+:func:`simulate_layer` dispatches to the fast path by default
+(``fast=False`` selects the reference). Differential tests in
+``tests/test_hw_fastsim.py`` pin cycle-exact equality of every
+:class:`LayerSimResult` field and of the recorded trace events.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .config import AcceleratorConfig
-from .cu import ConvTask, TaskCost, task_cycles
+from .cu import ConvTask, TaskCost, task_cycles, task_cycles_batch
 from .memory import ExternalMemory
 from .tiling import WindowPlan, plan_windows
 from .trace import TraceRecorder
@@ -162,7 +180,7 @@ def _schedule_window(
     return finish, busy
 
 
-def simulate_layer(
+def simulate_layer_reference(
     workload: LayerWorkload,
     config: AcceleratorConfig,
     memory: ExternalMemory,
@@ -177,6 +195,9 @@ def simulate_layer(
     synchronization point — the paper's "infrequent" one — is that window
     *w+2* cannot start prefetching until every task of window *w* has
     released its buffer half.
+
+    This is the reference implementation the vectorized
+    :func:`simulate_layer_fast` is differentially tested against.
     """
     plan = plan_windows(workload.spec, config)
     tasks = build_tasks(workload, plan, config, policy)
@@ -258,3 +279,176 @@ def simulate_layer(
         engine_busy_cycles=engine_busy,
         engine_capacity_cycles=engine_capacity,
     )
+
+
+@dataclass(frozen=True)
+class _WindowSchedule:
+    """Pre-sorted dispatch schedule for one distinct window pixel count."""
+
+    #: Group indices in LPT dispatch order (descending cost, stable ties).
+    dispatch: Tuple[int, ...]
+    #: Task cycles aligned with ``dispatch``.
+    cycles: Tuple[int, ...]
+    #: Window totals (independent of the CU assignment).
+    engine_busy: int
+    engine_capacity: int
+
+
+def _window_pixel_counts(spec, plan: WindowPlan) -> List[int]:
+    """Output pixels covered by each window, in window-major order."""
+    pixels = []
+    for window_index in range(plan.windows):
+        row_tile, col_tile = divmod(window_index, plan.g_c)
+        rows = min(plan.window_rows, spec.out_rows - row_tile * plan.window_rows)
+        cols = min(plan.window_cols, spec.out_cols - col_tile * plan.window_cols)
+        pixels.append(rows * cols)
+    return pixels
+
+
+def compile_window_schedules(
+    workload: LayerWorkload,
+    config: AcceleratorConfig,
+    policy: str = POLICY_NATURAL,
+    pixel_counts: Optional[Sequence[int]] = None,
+) -> Dict[int, _WindowSchedule]:
+    """Cost vectors for every distinct window size of a layer.
+
+    A layer has at most four distinct window pixel counts (interior, right
+    edge, bottom edge, corner), so the whole schedule costs four batched
+    :func:`~repro.hw.cu.task_cycles_batch` calls instead of one scalar
+    :func:`~repro.hw.cu.task_cycles` per (window, group) task.
+    """
+    if pixel_counts is None:
+        plan = plan_windows(workload.spec, config)
+        pixel_counts = _window_pixel_counts(workload.spec, plan)
+    groups = make_kernel_groups(workload, config, policy)
+    flat = np.concatenate(groups)
+    nonzeros = workload.nonzeros_array()[flat]
+    distinct = workload.distinct_array()[flat]
+    group_starts = np.arange(0, flat.size, config.n_knl)
+    schedules: Dict[int, _WindowSchedule] = {}
+    for pixels in pixel_counts:
+        if pixels in schedules:
+            continue
+        batch = task_cycles_batch(nonzeros, distinct, group_starts, pixels, config)
+        # Same LPT order as the reference: descending cycles, stable ties.
+        order = np.argsort(-batch.cycles, kind="stable")
+        schedules[pixels] = _WindowSchedule(
+            dispatch=tuple(order.tolist()),
+            cycles=tuple(batch.cycles[order].tolist()),
+            engine_busy=int(batch.engine_busy_cycles.sum()),
+            engine_capacity=int(batch.engine_cycle_capacity.sum()),
+        )
+    return schedules
+
+
+def simulate_layer_fast(
+    workload: LayerWorkload,
+    config: AcceleratorConfig,
+    memory: ExternalMemory,
+    policy: str = POLICY_BALANCED,
+    trace: Optional[TraceRecorder] = None,
+) -> LayerSimResult:
+    """Vectorized layer simulation; cycle-exact vs the reference.
+
+    No per-task Python objects are materialized: costs come pre-sorted from
+    :func:`compile_window_schedules` and the greedy assignment scans a plain
+    integer list for the earliest-free CU (first minimum wins, matching the
+    reference heap's (free_at, cu) ordering). When a ``trace`` recorder is
+    passed, events are reconstructed from the array schedule and are
+    identical to the reference trace.
+    """
+    plan = plan_windows(workload.spec, config)
+    pixel_counts = _window_pixel_counts(workload.spec, plan)
+    schedules = compile_window_schedules(workload, config, policy, pixel_counts)
+    n_groups = -(-len(workload.kernels) // config.n_knl)
+
+    weight_bytes_per_window = workload.encoded_bytes / plan.windows / config.s_ec
+    window_bytes = int(
+        plan.window_input_bytes * plan.batch_images
+        + weight_bytes_per_window
+        + plan.window_output_bytes * plan.batch_images
+    )
+
+    n_cu = config.n_cu
+    cu_range = range(n_cu)
+    free = [0] * n_cu
+    cu_busy = [0] * n_cu
+    stall_cycles = 0
+    channel_free = 0
+    memory_bytes = 0
+    engine_busy = 0
+    engine_capacity = 0
+    window_finish = [0] * plan.windows
+    clock = 0
+    layer_name = workload.spec.name
+
+    for window_index in range(plan.windows):
+        buffer_free = window_finish[window_index - 2] if window_index >= 2 else 0
+        transfer = memory.record(window_bytes)
+        memory_bytes += window_bytes
+        prefetch_done = max(channel_free, buffer_free) + transfer
+        channel_free = prefetch_done
+        release = prefetch_done + SYNC_CYCLES
+        schedule = schedules[pixel_counts[window_index]]
+        finish_all = 0
+        for position, cost in enumerate(schedule.cycles):
+            cu = min(cu_range, key=free.__getitem__)
+            free_at = free[cu]
+            start = free_at if free_at > release else release
+            stall_cycles += start - free_at
+            done = start + cost
+            cu_busy[cu] += cost
+            free[cu] = done
+            if done > finish_all:
+                finish_all = done
+            if trace is not None:
+                trace.record(
+                    layer=layer_name,
+                    window_index=window_index,
+                    group_index=schedule.dispatch[position],
+                    cu=cu,
+                    start=start,
+                    end=done,
+                )
+        engine_busy += schedule.engine_busy
+        engine_capacity += schedule.engine_capacity
+        window_finish[window_index] = finish_all
+        if finish_all > clock:
+            clock = finish_all
+
+    compute_cycles = max(clock, 1)
+    return LayerSimResult(
+        layer=layer_name,
+        cycles=clock,
+        compute_cycles=compute_cycles,
+        memory_stall_cycles=min(stall_cycles // max(n_cu, 1), clock),
+        cu_busy_cycles=tuple(cu_busy),
+        accumulate_ops=workload.accumulate_ops * plan.batch_images,
+        multiply_ops=workload.multiply_ops * plan.batch_images,
+        tasks=plan.windows * n_groups,
+        windows=plan.windows,
+        images=plan.batch_images,
+        memory_bytes=memory_bytes,
+        engine_busy_cycles=engine_busy,
+        engine_capacity_cycles=engine_capacity,
+    )
+
+
+def simulate_layer(
+    workload: LayerWorkload,
+    config: AcceleratorConfig,
+    memory: ExternalMemory,
+    policy: str = POLICY_BALANCED,
+    trace: Optional[TraceRecorder] = None,
+    fast: bool = True,
+) -> LayerSimResult:
+    """Simulate one layer; vectorized fast path by default.
+
+    ``fast=False`` runs the per-task :func:`simulate_layer_reference` event
+    loop instead. Both paths return identical results (including trace
+    events) — the differential tests assert field-exact equality.
+    """
+    if fast:
+        return simulate_layer_fast(workload, config, memory, policy, trace)
+    return simulate_layer_reference(workload, config, memory, policy, trace)

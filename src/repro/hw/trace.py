@@ -9,8 +9,9 @@ visible (the semi-synchronous pipelining of consecutive prefetch windows).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, MutableSequence, Optional
 
 
 @dataclass(frozen=True)
@@ -33,15 +34,34 @@ class TaskEvent:
         return self.end - self.start
 
 
-@dataclass
 class TraceRecorder:
-    """Collects task events during a simulation."""
+    """Collects task events during a simulation.
 
-    events: List[TaskEvent] = field(default_factory=list)
+    ``capacity`` bounds memory for full-model traced runs: when set, the
+    recorder is a ring buffer keeping only the most recent ``capacity``
+    events, and ``dropped`` counts the evicted ones. The default (``None``)
+    keeps every event, as the audit tests require.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("trace capacity must be >= 1")
+        self.capacity = capacity
+        self.events: MutableSequence[TaskEvent] = (
+            [] if capacity is None else deque(maxlen=capacity)
+        )
+        self.dropped = 0
+
+    @property
+    def recorded(self) -> int:
+        """Total events seen, including any dropped by the ring buffer."""
+        return len(self.events) + self.dropped
 
     def record(
         self, layer: str, window_index: int, group_index: int, cu: int, start: int, end: int
     ) -> None:
+        if self.capacity is not None and len(self.events) == self.capacity:
+            self.dropped += 1
         self.events.append(
             TaskEvent(
                 layer=layer,

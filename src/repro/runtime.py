@@ -75,11 +75,15 @@ class SystemRuntime:
         deployed: DeployedModel,
         device: FPGADevice = STRATIX_V_GXA7,
         host_ops_per_second: float = DEFAULT_HOST_OPS_PER_SECOND,
+        sim_cache: bool = True,
+        sim_workers: Optional[int] = None,
     ) -> None:
         self.pipeline = pipeline
         self.deployed = deployed
         self.device = device
         self.host_model = HostModel(ops_per_second=host_ops_per_second)
+        self.sim_cache = sim_cache
+        self.sim_workers = sim_workers
         self._simulation: Optional[ModelSimResult] = None
 
     @classmethod
@@ -102,9 +106,16 @@ class SystemRuntime:
 
     @property
     def simulation(self) -> ModelSimResult:
-        """Lazily-run (and cached) timing simulation of the deployment."""
+        """Lazily-run (and cached) timing simulation of the deployment.
+
+        Backed by the process-wide layer result cache, so sibling runtimes
+        serving the same deployment (serve worker pools) share one
+        simulation instead of re-running it per instance.
+        """
         if self._simulation is None:
-            self._simulation = self.deployed.simulate(self.device)
+            self._simulation = self.deployed.simulate(
+                self.device, cache=self.sim_cache, workers=self.sim_workers
+            )
         return self._simulation
 
     def infer(self, image: np.ndarray) -> RuntimeOutcome:

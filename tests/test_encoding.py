@@ -166,3 +166,61 @@ class TestEncodeLayer:
             for i in range(3)
         ]
         assert encoded_model_bytes(layers) == sum(l.encoded_bytes for l in layers)
+
+
+class TestCacheThreadSafety:
+    """The encode and plan caches are shared process-wide; hammer them
+    from threads and check every caller sees one consistent entry."""
+
+    def test_concurrent_encode_layer_cached(self, rng):
+        import threading
+
+        from repro.core.encoding import clear_encode_cache, encode_layer_cached
+
+        clear_encode_cache()
+        codes = rng.integers(-4, 5, size=(8, 4, 3, 3))
+        results = [None] * 8
+        barrier = threading.Barrier(len(results))
+
+        def worker(i):
+            barrier.wait()
+            results[i] = encode_layer_cached("shared", codes)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # First insert wins: every thread gets the same cached object.
+        assert all(r is results[0] for r in results)
+        assert np.array_equal(decode_layer(results[0]), codes)
+        clear_encode_cache()
+
+    def test_concurrent_plan_compile(self, rng):
+        import threading
+
+        from repro.core.abm import ConvGeometry
+        from repro.core.plan import (
+            clear_plan_cache,
+            compile_layer_plan,
+            plan_cache_size,
+        )
+
+        clear_plan_cache()
+        encoded = encode_layer("shared", rng.integers(-4, 5, size=(6, 3, 3, 3)))
+        geometry = ConvGeometry(kernel=3)
+        plans = [None] * 8
+        barrier = threading.Barrier(len(plans))
+
+        def worker(i):
+            barrier.wait()
+            plans[i] = compile_layer_plan(encoded, geometry)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(p is plans[0] for p in plans)
+        assert plan_cache_size() == 1
+        clear_plan_cache()
