@@ -1,0 +1,136 @@
+"""Benchmark: compiled whole-grid DSE vs the per-point reference flow.
+
+Times the full exploration flow (``explore()``: the Figure 6 N_knl sweep
+plus the Figure 7 S_ec x N_cu grid, candidate selection and the final
+performance estimate) on the paper's two workloads, once through the
+compiled whole-grid evaluator (:mod:`repro.dse.compiled`, the default)
+and once through the per-point reference path (``compiled=False``). The
+two must agree exactly — every sweep point, candidate and chosen config —
+before any timing counts.
+
+``test_bench_dse_artifact`` writes a ``BENCH_dse.json`` trajectory
+artifact (timings, speedups, grid sizes, Pareto timings) to the repo root
+so future PRs can track DSE performance over time. Quick mode for CI:
+``REPRO_BENCH_QUICK=1`` uses fewer repeats and a relaxed speedup floor
+for shared runners; the full run asserts the ISSUE's >= 20x bar on the
+VGG16 full-grid ``explore()``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.dse import (
+    DEFAULT_RESOURCE_MODEL,
+    clear_buffer_cache,
+    clear_compiled_cache,
+    explore,
+    pareto_frontier,
+    pareto_frontier_reference,
+    sweep_sec_ncu,
+)
+from repro.hw import STRATIX_V_GXA7
+from repro.hw.tiling import clear_window_plan_cache
+from repro.workloads import synthetic_model_workload
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") not in ("0", "")
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_dse.json"
+
+
+def _best_of(fn, repeats):
+    """Best-of-N wall time in seconds (min is the least noisy estimator)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _clear_caches():
+    clear_compiled_cache()
+    clear_buffer_cache()
+    clear_window_plan_cache()
+
+
+def test_bench_dse_artifact():
+    """Compiled vs reference full-grid exploration; writes the artifact.
+
+    The compiled path must return identical ExplorationResults (same
+    sweeps, candidates, chosen config and final performance) and clear
+    the speedup floor on the VGG16 full ``explore()`` grid.
+    """
+    repeats = 3 if QUICK else 5
+    floor = 5.0 if QUICK else 20.0
+    report = {
+        "generated_by": "benchmarks/bench_dse.py",
+        "quick": QUICK,
+        "seed": 1,
+        "models": {},
+    }
+    print()
+    for model in ("alexnet", "vgg16"):
+        workload = synthetic_model_workload(model, seed=1)
+
+        compiled_result = explore(workload, STRATIX_V_GXA7)
+        reference_result = explore(workload, STRATIX_V_GXA7, compiled=False)
+        # Point-for-point, float-for-float agreement is a precondition.
+        assert compiled_result.nknl_sweep == reference_result.nknl_sweep
+        assert compiled_result.grid == reference_result.grid
+        assert compiled_result.candidates == reference_result.candidates
+        assert compiled_result.chosen == reference_result.chosen
+        assert compiled_result.performance == reference_result.performance
+
+        compiled_s = _best_of(lambda: explore(workload, STRATIX_V_GXA7), repeats)
+        reference_s = _best_of(
+            lambda: explore(workload, STRATIX_V_GXA7, compiled=False),
+            max(1, repeats - 2),
+        )
+        # Cold compile: what the very first query pays (caches emptied).
+        _clear_caches()
+        start = time.perf_counter()
+        explore(workload, STRATIX_V_GXA7)
+        cold_s = time.perf_counter() - start
+
+        # Pareto dominance over the full S_ec x N_cu grid, both paths.
+        grid = sweep_sec_ncu(
+            workload,
+            STRATIX_V_GXA7,
+            DEFAULT_RESOURCE_MODEL,
+            n_knl=compiled_result.chosen_n_knl,
+            n_share=compiled_result.n_share,
+        )
+        assert pareto_frontier(grid) == pareto_frontier_reference(grid)
+        pareto_s = _best_of(lambda: pareto_frontier(grid), repeats)
+        pareto_ref_s = _best_of(
+            lambda: pareto_frontier_reference(grid), max(1, repeats - 2)
+        )
+
+        entry = {
+            "layers": len(workload.layers),
+            "grid_points": len(compiled_result.grid),
+            "nknl_points": len(compiled_result.nknl_sweep),
+            "chosen": repr(compiled_result.chosen),
+            "throughput_gops": round(compiled_result.performance.throughput_gops, 1),
+            "reference_s": round(reference_s, 6),
+            "compiled_s": round(compiled_s, 6),
+            "cold_compile_s": round(cold_s, 6),
+            "pareto_reference_s": round(pareto_ref_s, 6),
+            "pareto_compiled_s": round(pareto_s, 6),
+            "speedup_compiled_vs_reference": round(reference_s / compiled_s, 2),
+            "speedup_pareto": round(pareto_ref_s / pareto_s, 2),
+        }
+        report["models"][model] = entry
+        print(
+            f"  {model:<8} reference {reference_s * 1e3:8.2f} ms  "
+            f"compiled {compiled_s * 1e3:7.2f} ms  "
+            f"cold {cold_s * 1e3:6.2f} ms  "
+            f"speedup {entry['speedup_compiled_vs_reference']:6.2f}x"
+        )
+
+    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"  wrote {ARTIFACT}")
+
+    vgg16 = report["models"]["vgg16"]["speedup_compiled_vs_reference"]
+    assert vgg16 >= floor, f"vgg16 compiled-DSE speedup {vgg16}x below {floor}x"

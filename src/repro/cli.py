@@ -81,8 +81,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_explore(args: argparse.Namespace) -> int:
     device = get_device(args.device)
     workload = synthetic_model_workload(args.model, seed=args.seed)
-    result = explore(workload, device)
-    print(f"exploration for {args.model} on {device.name}")
+    result = explore(
+        workload, device, workers=args.workers, compiled=not args.reference
+    )
+    path = "reference (per-point)" if args.reference else "compiled (whole-grid)"
+    print(f"exploration for {args.model} on {device.name} [{path}]")
     print(f"  sharing factor N:    {result.n_share}")
     print(f"  optimal N_knl:       {result.chosen_n_knl}")
     print(f"  chosen config:       {result.chosen.describe()}")
@@ -288,6 +291,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse = sub.add_parser("explore", help="run design space exploration")
     p_dse.add_argument("--model", choices=("alexnet", "vgg16"), default="vgg16")
     p_dse.add_argument("--device", default="Stratix-V GXA7")
+    p_dse.add_argument("--reference", action="store_true",
+                       help="use the per-point reference evaluators instead "
+                            "of the compiled whole-grid fast path")
+    p_dse.add_argument("--workers", type=int, default=None,
+                       help="process-pool size (reference path only)")
     p_dse.set_defaults(func=_cmd_explore)
 
     p_roof = sub.add_parser("roofline", help="print the Figure 1 roofline")

@@ -13,17 +13,29 @@ from .calibration import (
     characterization_suite,
     fit_constants,
 )
+from .compiled import (
+    CompiledWorkload,
+    GridEvaluation,
+    clear_compiled_cache,
+    compile_workload,
+    compiled_cache_size,
+    steps_total_closed_form,
+)
 from .explorer import (
     BufferSizing,
     ExplorationResult,
     GridPoint,
     NknlPoint,
     best_candidates,
+    buffer_cache_size,
+    clear_buffer_cache,
     explore,
     optimal_nknl,
     size_buffers,
     sweep_nknl,
+    sweep_nknl_reference,
     sweep_sec_ncu,
+    sweep_sec_ncu_reference,
 )
 from .frequency import (
     DEFAULT_FREQUENCY_MODEL,
@@ -33,7 +45,7 @@ from .frequency import (
 )
 from .multi import JointExplorationResult, JointPoint, explore_joint
 from .parallel import map_jobs
-from .pareto import FrontierSummary, pareto_frontier
+from .pareto import FrontierSummary, pareto_frontier, pareto_frontier_reference
 from .performance import (
     MODE_IDEAL,
     MODE_QUANTIZED,
@@ -67,15 +79,25 @@ __all__ = [
     "characterization_suite",
     "fit_constants",
     "BufferSizing",
+    "CompiledWorkload",
     "ExplorationResult",
+    "GridEvaluation",
     "GridPoint",
     "NknlPoint",
     "best_candidates",
+    "buffer_cache_size",
+    "clear_buffer_cache",
+    "clear_compiled_cache",
+    "compile_workload",
+    "compiled_cache_size",
     "explore",
     "optimal_nknl",
     "size_buffers",
+    "steps_total_closed_form",
     "sweep_nknl",
+    "sweep_nknl_reference",
     "sweep_sec_ncu",
+    "sweep_sec_ncu_reference",
     "MODE_IDEAL",
     "MODE_QUANTIZED",
     "LayerPerformance",
@@ -100,6 +122,7 @@ __all__ = [
     "map_jobs",
     "FrontierSummary",
     "pareto_frontier",
+    "pareto_frontier_reference",
     "JointExplorationResult",
     "JointPoint",
     "explore_joint",

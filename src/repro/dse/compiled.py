@@ -1,0 +1,356 @@
+"""Compiled whole-grid evaluation of the analytic DSE models.
+
+The exploration flow of paper Figure 5 exists so thousands of design
+points can be scored *analytically* instead of simulated — but the
+per-point evaluators (`estimate_model` in ``MODE_QUANTIZED`` plus the
+scalar resource equations) defeat that by re-sorting every layer's kernel
+arrays and walking every prefetch window in Python for each configuration.
+This module compiles the per-layer invariants once per (workload, N) and
+then scores the full ``N_knl x S_ec x N_cu`` space with array operations:
+
+- **Engine vectors.** The quantized model's per-kernel engine cost
+  ``max(nonzeros, distinct * N)`` does not depend on the grid axes, so each
+  layer's vector is built and descending-sorted exactly once. Because the
+  vector is sorted, the balanced grouping's per-group maximum for *any*
+  ``N_knl`` is simply the first element of each chunk — ``sum(group_max)``
+  for every ``N_knl`` is the strided sum ``engine[::N_knl].sum()``, no
+  re-sort, no reshape, no padding.
+- **Window steps.** The per-window vector-step loop has a closed form:
+  a layer's prefetch grid contains at most four distinct window shapes
+  (interior, right edge, bottom edge, corner), so the exact sum of
+  ``ceil(rows * cols / S_ec)`` over all ``G_r x G_c`` windows is four
+  integer terms built from the cached :func:`plan_layer_windows` geometry.
+- **Resources.** :meth:`ResourceModel.estimate_arrays` evaluates the
+  C0..C7 equations over broadcast parameter arrays, operation-for-operation
+  identical to the scalar path.
+
+Every element of the resulting grid is **float-identical** to what the
+per-point reference path (`sweep_nknl_reference`, `sweep_sec_ncu_reference`,
+`estimate_model`) produces for the corresponding configuration — the
+differential suite in ``tests/test_dse_compiled.py`` pins this point for
+point. The reference evaluators stay available for differential testing
+and for callers that want process-pool parallelism (``workers=`` is only
+useful on the reference path; the compiled path is array code).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.specs import LayerSpec
+from ..hw.config import AcceleratorConfig
+from ..hw.device import FPGADevice
+from ..hw.tiling import plan_layer_windows
+from ..hw.workload import ModelWorkload
+from .performance import MODE_QUANTIZED, _MODES
+from .resources import ResourceEstimate, ResourceModel, ResourceUtilization
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def steps_total_closed_form(spec: LayerSpec, d_f: int, s_ec: int) -> Tuple[int, int]:
+    """Exact (vector steps, batch images) for one layer without a window loop.
+
+    Matches the quantized reference model's per-window accumulation: the
+    ``G_r x G_c`` prefetch grid has full-size interior windows and (at most)
+    one ragged edge row/column, so the sum of ``ceil(rows * cols / S_ec)``
+    collapses to four terms. FC layers are a single window batched over
+    ``S_ec`` images.
+    """
+    plan = plan_layer_windows(spec, d_f, s_ec)
+    r_full, c_full = plan.window_rows, plan.window_cols
+    r_edge = spec.out_rows - (plan.g_r - 1) * r_full
+    c_edge = spec.out_cols - (plan.g_c - 1) * c_full
+    steps = (
+        (plan.g_r - 1) * (plan.g_c - 1) * _ceil_div(r_full * c_full, s_ec)
+        + (plan.g_r - 1) * _ceil_div(r_full * c_edge, s_ec)
+        + (plan.g_c - 1) * _ceil_div(r_edge * c_full, s_ec)
+        + _ceil_div(r_edge * c_edge, s_ec)
+    )
+    return steps, plan.batch_images
+
+
+@dataclass(frozen=True)
+class _CompiledLayer:
+    """Grid-invariant figures of one layer for one sharing factor N."""
+
+    spec: LayerSpec
+    #: Descending-sorted per-kernel engine cost max(nonzeros, distinct * N).
+    engine_desc: np.ndarray
+    accumulate_ops: int
+    #: multiply_ops * N — the multiplier-bound threshold of the model.
+    multiply_share: int
+    bound: str
+
+
+@dataclass(frozen=True)
+class GridEvaluation:
+    """Dense evaluation of the ``N_knl x S_ec x N_cu`` design space.
+
+    Every array is indexed ``[i_knl, i_sec, i_ncu]``. Buffer depths vary
+    only along the ``S_ec`` axis (they are derived per ``size_buffers``),
+    and per-layer bound labels do not vary at all (they depend only on the
+    sharing factor N), exactly as in the per-point model.
+    """
+
+    n_knl_values: Tuple[int, ...]
+    s_ec_values: Tuple[int, ...]
+    n_cu_values: Tuple[int, ...]
+    freq_mhz: float
+    logic_limit: float
+    #: Per-S_ec buffer sizing (``repro.dse.explorer.BufferSizing``).
+    buffers: Tuple[object, ...]
+    cycles_per_image: np.ndarray
+    throughput_gops: np.ndarray
+    alms: np.ndarray
+    dsps: np.ndarray
+    m20ks: np.ndarray
+    #: None when no device was given (then every point is feasible).
+    logic_util: Optional[np.ndarray]
+    dsp_util: Optional[np.ndarray]
+    mem_util: Optional[np.ndarray]
+    feasible: np.ndarray
+    #: Per-layer bound labels ('accumulate' / 'multiply'), grid-invariant.
+    layer_bounds: Tuple[str, ...]
+    n_share: int
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return self.cycles_per_image.shape
+
+    def config_at(self, i_knl: int, i_sec: int, i_ncu: int) -> AcceleratorConfig:
+        """The full configuration of one grid point (with sized buffers)."""
+        buffers = self.buffers[i_sec]
+        return AcceleratorConfig(
+            n_cu=self.n_cu_values[i_ncu],
+            n_knl=self.n_knl_values[i_knl],
+            n_share=self.n_share,
+            s_ec=self.s_ec_values[i_sec],
+            d_f=buffers.d_f,
+            d_w=buffers.d_w,
+            d_q=buffers.d_q,
+            freq_mhz=self.freq_mhz,
+        )
+
+    def estimate_at(self, i_knl: int, i_sec: int, i_ncu: int) -> ResourceEstimate:
+        idx = (i_knl, i_sec, i_ncu)
+        return ResourceEstimate(
+            alms=int(self.alms[idx]),
+            dsps=int(self.dsps[idx]),
+            m20ks=int(self.m20ks[idx]),
+        )
+
+    def utilization_at(
+        self, i_knl: int, i_sec: int, i_ncu: int
+    ) -> Optional[ResourceUtilization]:
+        if self.logic_util is None:
+            return None
+        idx = (i_knl, i_sec, i_ncu)
+        return ResourceUtilization(
+            logic=float(self.logic_util[idx]),
+            dsp=float(self.dsp_util[idx]),
+            memory=float(self.mem_util[idx]),
+        )
+
+
+class CompiledWorkload:
+    """Per-(workload, N) invariants for compile-once/evaluate-many DSE.
+
+    Use :func:`compile_workload` rather than constructing directly — it
+    memoizes instances per workload identity, which is what makes repeated
+    sweeps (``explore``, ``explore_joint``, benchmarks) pay compilation
+    once.
+    """
+
+    def __init__(self, workload: ModelWorkload, n_share: int) -> None:
+        if n_share < 1:
+            raise ValueError("n_share must be >= 1")
+        self.workload = workload
+        self.n_share = n_share
+        self.dense_ops = workload.dense_ops
+        layers: List[_CompiledLayer] = []
+        for layer in workload.layers:
+            engine = np.maximum(
+                layer.nonzeros_array(), layer.distinct_array() * n_share
+            )
+            engine_desc = np.ascontiguousarray(np.sort(engine)[::-1])
+            acc = layer.accumulate_ops
+            mult = layer.multiply_ops * n_share
+            layers.append(
+                _CompiledLayer(
+                    spec=layer.spec,
+                    engine_desc=engine_desc,
+                    accumulate_ops=acc,
+                    multiply_share=mult,
+                    bound="accumulate" if acc >= mult else "multiply",
+                )
+            )
+        self._layers: Tuple[_CompiledLayer, ...] = tuple(layers)
+        #: group-max sums per n_knl, memoized: n_knl -> (L,) float64 array.
+        self._gm_cache: Dict[int, np.ndarray] = {}
+        self._gm_lock = threading.Lock()
+
+    @property
+    def layer_bounds(self) -> Tuple[str, ...]:
+        return tuple(layer.bound for layer in self._layers)
+
+    def group_max_sums(self, n_knl: int) -> np.ndarray:
+        """``sum(group_max)`` of every layer for one engine count.
+
+        The balanced grouping sorts kernels by load before chunking into
+        groups of ``n_knl``; on the descending-sorted engine vector each
+        group's maximum is its first element, so the sum over groups is a
+        strided slice sum — identical to the reference's pad/sort/reshape
+        reduction, without doing any of it per design point.
+        """
+        with self._gm_lock:
+            cached = self._gm_cache.get(n_knl)
+        if cached is not None:
+            return cached
+        sums = np.array(
+            [float(layer.engine_desc[::n_knl].sum()) for layer in self._layers],
+            dtype=np.float64,
+        )
+        with self._gm_lock:
+            self._gm_cache[n_knl] = sums
+        return sums
+
+    def evaluate_grid(
+        self,
+        resources: ResourceModel,
+        device: Optional[FPGADevice] = None,
+        *,
+        n_knl_values: Sequence[int],
+        s_ec_values: Sequence[int],
+        n_cu_values: Sequence[int],
+        freq_mhz: float = 200.0,
+        logic_limit: float = 0.75,
+        mode: str = MODE_QUANTIZED,
+    ) -> GridEvaluation:
+        """Score the full cartesian grid in one batch of array operations.
+
+        Returns cycles/throughput, resource estimates, utilization and the
+        feasibility mask for every ``(N_knl, S_ec, N_cu)`` combination —
+        each element float-identical to the per-point reference evaluators
+        on the corresponding configuration. Layer cycles accumulate in
+        layer order (matching ``ModelPerformance.cycles_per_image``'s
+        sequential sum bit for bit).
+        """
+        if mode not in _MODES:
+            raise ValueError(f"unknown performance-model mode {mode!r}")
+        from .explorer import size_buffers  # late import: explorer imports us
+
+        n_knl = tuple(int(v) for v in n_knl_values)
+        s_ec = tuple(int(v) for v in s_ec_values)
+        n_cu = tuple(int(v) for v in n_cu_values)
+        buffers = tuple(size_buffers(self.workload, s) for s in s_ec)
+        shape = (len(n_knl), len(s_ec), len(n_cu))
+        knl = np.asarray(n_knl, dtype=np.int64)[:, None, None]
+        sec = np.asarray(s_ec, dtype=np.int64)[None, :, None]
+        ncu = np.asarray(n_cu, dtype=np.int64)[None, None, :]
+
+        total = np.zeros(shape, dtype=np.float64)
+        if mode == MODE_QUANTIZED:
+            ncu_b = np.asarray(n_cu, dtype=np.int64)[None, None, :]
+            for index, layer in enumerate(self._layers):
+                steps = np.empty(len(s_ec), dtype=np.int64)
+                batch = np.empty(len(s_ec), dtype=np.int64)
+                for j, (s, sized) in enumerate(zip(s_ec, buffers)):
+                    steps[j], batch[j] = steps_total_closed_form(
+                        layer.spec, sized.d_f, s
+                    )
+                gm = np.empty(len(n_knl), dtype=np.float64)
+                for i, n in enumerate(n_knl):
+                    gm[i] = self.group_max_sums(n)[index]
+                cycles = (
+                    gm[:, None, None] * steps[None, :, None]
+                ) / ncu_b / batch[None, :, None]
+                total = total + cycles
+        else:
+            accumulators = ncu * (knl * sec)
+            for layer in self._layers:
+                peak = max(layer.accumulate_ops, layer.multiply_share)
+                total = total + peak / accumulators
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            seconds = total / (freq_mhz * 1e6)
+            throughput = self.dense_ops / seconds / 1e9
+
+        alms, dsps, m20ks = resources.estimate_arrays(knl, sec, ncu, self.n_share)
+        alms = np.broadcast_to(alms, shape).copy()
+        dsps = np.broadcast_to(dsps, shape).copy()
+        m20ks = np.broadcast_to(m20ks, shape).copy()
+        if device is not None:
+            logic_util = alms / device.alms
+            dsp_util = dsps / device.dsps
+            mem_util = m20ks / device.m20k_blocks
+            feasible = (
+                (logic_util <= logic_limit)
+                & (dsp_util <= 1.0)
+                & (mem_util <= 1.0)
+            )
+        else:
+            logic_util = dsp_util = mem_util = None
+            feasible = np.ones(shape, dtype=bool)
+        return GridEvaluation(
+            n_knl_values=n_knl,
+            s_ec_values=s_ec,
+            n_cu_values=n_cu,
+            freq_mhz=freq_mhz,
+            logic_limit=logic_limit,
+            buffers=buffers,
+            cycles_per_image=total,
+            throughput_gops=throughput,
+            alms=alms,
+            dsps=dsps,
+            m20ks=m20ks,
+            logic_util=logic_util,
+            dsp_util=dsp_util,
+            mem_util=mem_util,
+            feasible=feasible,
+            layer_bounds=self.layer_bounds,
+            n_share=self.n_share,
+        )
+
+
+#: Compiled workloads are memoized per (workload identity, N). Entries hold
+#: a strong reference to the workload, so an id() can never be recycled
+#: while its key is live; eviction is purely LRU.
+COMPILED_CACHE_CAPACITY = 64
+
+_compiled_cache: "OrderedDict[Tuple[int, int], CompiledWorkload]" = OrderedDict()
+_compiled_lock = threading.Lock()
+
+
+def compile_workload(workload: ModelWorkload, n_share: int) -> CompiledWorkload:
+    """Memoized compilation of a workload's grid-invariant figures."""
+    key = (id(workload), n_share)
+    with _compiled_lock:
+        hit = _compiled_cache.get(key)
+        if hit is not None:
+            _compiled_cache.move_to_end(key)
+            return hit
+    compiled = CompiledWorkload(workload, n_share)
+    with _compiled_lock:
+        _compiled_cache[key] = compiled
+        while len(_compiled_cache) > COMPILED_CACHE_CAPACITY:
+            _compiled_cache.popitem(last=False)
+    return compiled
+
+
+def clear_compiled_cache() -> None:
+    """Drop every memoized :class:`CompiledWorkload`."""
+    with _compiled_lock:
+        _compiled_cache.clear()
+
+
+def compiled_cache_size() -> int:
+    with _compiled_lock:
+        return len(_compiled_cache)

@@ -23,6 +23,8 @@ The flow mirrors the paper's stages:
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -30,6 +32,7 @@ from ..hw.config import AcceleratorConfig
 from ..hw.device import FPGADevice
 from ..hw.workload import ModelWorkload
 from .bandwidth import BandwidthReport, bandwidth_report
+from .compiled import compile_workload
 from .parallel import map_jobs
 from .performance import (
     MODE_QUANTIZED,
@@ -55,8 +58,21 @@ class BufferSizing:
     d_q: int
 
 
+#: ``size_buffers`` results are memoized per (workload identity, s_ec):
+#: ``sweep_sec_ncu`` and ``explore_joint`` ask for the same sizing once per
+#: grid column instead of once per grid point. Entries keep a strong
+#: reference to the workload so an ``id()`` can never be recycled while its
+#: key is live; eviction is purely LRU.
+BUFFER_CACHE_CAPACITY = 1024
+
+_buffer_cache: "OrderedDict[Tuple[int, int], Tuple[ModelWorkload, BufferSizing]]" = (
+    OrderedDict()
+)
+_buffer_lock = threading.Lock()
+
+
 def size_buffers(workload: ModelWorkload, s_ec: int) -> BufferSizing:
-    """Derive buffer depths from the encoded model's statistics.
+    """Derive buffer depths from the encoded model's statistics (memoized).
 
     - D_w covers the deepest single-kernel index stream (power of two);
     - D_q covers the deepest per-kernel Q-Table with 2x margin for the
@@ -64,7 +80,36 @@ def size_buffers(workload: ModelWorkload, s_ec: int) -> BufferSizing:
     - D_f covers the larger of the deepest FC input vector and the
       steady-state conv prefetch window (in S_ec-wide entries), with an 8%
       allocation margin, rounded to a multiple of 32.
+
+    Results are cached per (workload identity, s_ec); the full layer scan
+    runs once per distinct S_ec even across repeated sweeps.
     """
+    key = (id(workload), s_ec)
+    with _buffer_lock:
+        hit = _buffer_cache.get(key)
+        if hit is not None:
+            _buffer_cache.move_to_end(key)
+            return hit[1]
+    sizing = _size_buffers_uncached(workload, s_ec)
+    with _buffer_lock:
+        _buffer_cache[key] = (workload, sizing)
+        while len(_buffer_cache) > BUFFER_CACHE_CAPACITY:
+            _buffer_cache.popitem(last=False)
+    return sizing
+
+
+def clear_buffer_cache() -> None:
+    """Drop every memoized :func:`size_buffers` result."""
+    with _buffer_lock:
+        _buffer_cache.clear()
+
+
+def buffer_cache_size() -> int:
+    with _buffer_lock:
+        return len(_buffer_cache)
+
+
+def _size_buffers_uncached(workload: ModelWorkload, s_ec: int) -> BufferSizing:
     max_nnz = max(
         (max((k.nonzeros for k in layer.kernels), default=0) for layer in workload.layers),
         default=0,
@@ -118,7 +163,7 @@ def _eval_nknl_point(job) -> Tuple[int, float, int, bool]:
     return config.n_knl, perf, estimate.alms, feasible
 
 
-def sweep_nknl(
+def sweep_nknl_reference(
     workload: ModelWorkload,
     resources: ResourceModel,
     n_share: int,
@@ -130,16 +175,11 @@ def sweep_nknl(
     n_knl_range: Sequence[int] = tuple(range(2, 25)),
     workers: Optional[int] = None,
 ) -> List[NknlPoint]:
-    """Figure 6: normalized performance boost across N_knl.
+    """Per-point reference for :func:`sweep_nknl` (differential baseline).
 
-    Boost is (throughput gain) / (logic gain), both relative to the first
-    point of the sweep. Points whose DSP/memory/logic demand exceeds the
-    device (when given) are marked infeasible, which is what bounds the
-    sweep from above: at S_ec=20, N=4, N_cu=3 the GXA7's 256 DSPs admit at
-    most N_knl=15.
-
-    ``workers`` fans the point evaluations out over a process pool;
-    results are identical and identically ordered for any worker count.
+    Evaluates every N_knl with the scalar `estimate_model` path. ``workers``
+    fans the point evaluations out over a process pool; results are
+    identical and identically ordered for any worker count.
     """
     buffers = size_buffers(workload, s_ec)
     jobs = []
@@ -156,6 +196,11 @@ def sweep_nknl(
         )
         jobs.append((workload, resources, config, device, logic_limit))
     raw = map_jobs(_eval_nknl_point, jobs, workers)
+    return _nknl_points_from_raw(raw)
+
+
+def _nknl_points_from_raw(raw) -> List[NknlPoint]:
+    """Derive normalized boosts (relative to the sweep's first point)."""
     points = []
     base_perf: Optional[float] = None
     base_logic: Optional[float] = None
@@ -173,6 +218,67 @@ def sweep_nknl(
             )
         )
     return points
+
+
+def sweep_nknl(
+    workload: ModelWorkload,
+    resources: ResourceModel,
+    n_share: int,
+    device: Optional[FPGADevice] = None,
+    n_cu: int = 3,
+    s_ec: int = 20,
+    freq_mhz: float = 200.0,
+    logic_limit: float = 0.75,
+    n_knl_range: Sequence[int] = tuple(range(2, 25)),
+    workers: Optional[int] = None,
+    compiled: bool = True,
+) -> List[NknlPoint]:
+    """Figure 6: normalized performance boost across N_knl.
+
+    Boost is (throughput gain) / (logic gain), both relative to the first
+    point of the sweep. Points whose DSP/memory/logic demand exceeds the
+    device (when given) are marked infeasible, which is what bounds the
+    sweep from above: at S_ec=20, N=4, N_cu=3 the GXA7's 256 DSPs admit at
+    most N_knl=15.
+
+    The sweep runs on the compiled whole-grid evaluator by default
+    (:mod:`repro.dse.compiled`), point-for-point float-identical to the
+    per-point path; ``compiled=False`` selects
+    :func:`sweep_nknl_reference`, where ``workers`` fans points over a
+    process pool (the compiled path is array code and ignores it).
+    """
+    if not compiled:
+        return sweep_nknl_reference(
+            workload,
+            resources,
+            n_share,
+            device=device,
+            n_cu=n_cu,
+            s_ec=s_ec,
+            freq_mhz=freq_mhz,
+            logic_limit=logic_limit,
+            n_knl_range=n_knl_range,
+            workers=workers,
+        )
+    evaluation = compile_workload(workload, n_share).evaluate_grid(
+        resources,
+        device=device,
+        n_knl_values=tuple(n_knl_range),
+        s_ec_values=(s_ec,),
+        n_cu_values=(n_cu,),
+        freq_mhz=freq_mhz,
+        logic_limit=logic_limit,
+    )
+    raw = [
+        (
+            n_knl,
+            float(evaluation.throughput_gops[i, 0, 0]),
+            int(evaluation.alms[i, 0, 0]),
+            bool(evaluation.feasible[i, 0, 0]),
+        )
+        for i, n_knl in enumerate(evaluation.n_knl_values)
+    ]
+    return _nknl_points_from_raw(raw)
 
 
 def optimal_nknl(points: Sequence[NknlPoint]) -> int:
@@ -218,7 +324,7 @@ def _eval_grid_point(job) -> GridPoint:
     )
 
 
-def sweep_sec_ncu(
+def sweep_sec_ncu_reference(
     workload: ModelWorkload,
     device: FPGADevice,
     resources: ResourceModel,
@@ -230,7 +336,7 @@ def sweep_sec_ncu(
     n_cu_range: Sequence[int] = tuple(range(1, 7)),
     workers: Optional[int] = None,
 ) -> List[GridPoint]:
-    """Figure 7: attainable throughput across the S_ec x N_cu grid.
+    """Per-point reference for :func:`sweep_sec_ncu` (differential baseline).
 
     ``workers`` fans the grid out over a process pool; point order (N_cu
     outer, S_ec inner) and values are identical for any worker count.
@@ -251,6 +357,64 @@ def sweep_sec_ncu(
             )
             jobs.append((workload, device, resources, config, logic_limit))
     return map_jobs(_eval_grid_point, jobs, workers)
+
+
+def sweep_sec_ncu(
+    workload: ModelWorkload,
+    device: FPGADevice,
+    resources: ResourceModel,
+    n_knl: int,
+    n_share: int,
+    freq_mhz: float = 200.0,
+    logic_limit: float = 0.75,
+    s_ec_range: Sequence[int] = tuple(range(4, 33, 2)),
+    n_cu_range: Sequence[int] = tuple(range(1, 7)),
+    workers: Optional[int] = None,
+    compiled: bool = True,
+) -> List[GridPoint]:
+    """Figure 7: attainable throughput across the S_ec x N_cu grid.
+
+    Point order is N_cu outer, S_ec inner. The grid is scored by the
+    compiled whole-grid evaluator by default (float-identical to the
+    per-point path); ``compiled=False`` selects
+    :func:`sweep_sec_ncu_reference`, where ``workers`` fans points over a
+    process pool (the compiled path ignores it).
+    """
+    if not compiled:
+        return sweep_sec_ncu_reference(
+            workload,
+            device,
+            resources,
+            n_knl=n_knl,
+            n_share=n_share,
+            freq_mhz=freq_mhz,
+            logic_limit=logic_limit,
+            s_ec_range=s_ec_range,
+            n_cu_range=n_cu_range,
+            workers=workers,
+        )
+    evaluation = compile_workload(workload, n_share).evaluate_grid(
+        resources,
+        device=device,
+        n_knl_values=(n_knl,),
+        s_ec_values=tuple(s_ec_range),
+        n_cu_values=tuple(n_cu_range),
+        freq_mhz=freq_mhz,
+        logic_limit=logic_limit,
+    )
+    points = []
+    for k, _ in enumerate(evaluation.n_cu_values):
+        for j, _ in enumerate(evaluation.s_ec_values):
+            points.append(
+                GridPoint(
+                    config=evaluation.config_at(0, j, k),
+                    throughput_gops=float(evaluation.throughput_gops[0, j, k]),
+                    resources=evaluation.estimate_at(0, j, k),
+                    utilization=evaluation.utilization_at(0, j, k),
+                    feasible=bool(evaluation.feasible[0, j, k]),
+                )
+            )
+    return points
 
 
 def best_candidates(grid: Sequence[GridPoint], count: int = 5) -> List[GridPoint]:
@@ -285,11 +449,15 @@ def explore(
     preset_n_cu: int = 3,
     preset_s_ec: int = 20,
     workers: Optional[int] = None,
+    compiled: bool = True,
 ) -> ExplorationResult:
     """Run the full exploration flow of Figure 5.
 
-    ``workers`` parallelizes both sweeps over a process pool; the chosen
-    configuration and every reported point are identical for any value.
+    Both sweeps run on the compiled whole-grid evaluator by default;
+    ``compiled=False`` selects the per-point reference path, where
+    ``workers`` parallelizes the sweeps over a process pool. The chosen
+    configuration and every reported point are identical for any
+    combination of the two knobs.
     """
     n_share = share_factor_from_workloads(workload.layers)
     nknl_points = sweep_nknl(
@@ -302,6 +470,7 @@ def explore(
         freq_mhz=freq_mhz,
         logic_limit=logic_limit,
         workers=workers,
+        compiled=compiled,
     )
     n_knl = optimal_nknl(nknl_points)
     grid = sweep_sec_ncu(
@@ -313,6 +482,7 @@ def explore(
         freq_mhz=freq_mhz,
         logic_limit=logic_limit,
         workers=workers,
+        compiled=compiled,
     )
     candidates = best_candidates(grid)
     if not candidates:

@@ -67,6 +67,7 @@ def explore_joint(
     logic_limit: float = 0.75,
     candidates: int = 5,
     workers: Optional[int] = None,
+    compiled: bool = True,
 ) -> JointExplorationResult:
     """Pick one configuration serving every workload (max-min normalized).
 
@@ -74,9 +75,12 @@ def explore_joint(
     (smallest intensity ratio), since an under-provisioned multiplier
     array hurts everyone.
 
-    ``workers`` parallelizes each workload's S_ec x N_cu grid over a
-    process pool; the chosen point and candidate ranking are identical
-    for any worker count.
+    Each workload's S_ec x N_cu grid runs on the compiled whole-grid
+    evaluator by default (and the shared ``size_buffers`` memo means the
+    per-model buffer scans run once per S_ec, not once per grid point);
+    ``compiled=False`` selects the per-point reference path, where
+    ``workers`` parallelizes each grid over a process pool. The chosen
+    point and candidate ranking are identical either way.
     """
     if not workloads:
         raise ValueError("need at least one workload")
@@ -100,6 +104,7 @@ def explore_joint(
             freq_mhz=freq_mhz,
             logic_limit=logic_limit,
             workers=workers,
+            compiled=compiled,
         )
         per_model_grid[workload.name] = {
             (point.s_ec, point.n_cu): point for point in grid

@@ -9,6 +9,14 @@ Parallelism is strictly opt-in: ``workers=None`` (the default everywhere)
 keeps the exact serial code path, and any ``workers`` value produces the
 same results in the same order — ``ProcessPoolExecutor.map`` preserves
 input ordering, and each job is deterministic.
+
+Since the sweeps compile to whole-grid array evaluation by default
+(:mod:`repro.dse.compiled`), ``workers=`` only matters on the per-point
+*reference* path (``compiled=False`` on the sweeps, or
+``pareto_frontier_reference``) — the compiled path is single-process
+numpy and ignores the argument. It remains useful for the simulator's
+parallel multi-layer runs (``repro.hw``), which still fan out through
+:func:`map_jobs`.
 """
 
 from __future__ import annotations

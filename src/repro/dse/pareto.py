@@ -5,12 +5,19 @@ design to another device (or leaving headroom for other logic on the
 FPGA) wants the whole throughput-vs-resources frontier. A grid point is
 Pareto-optimal when no other feasible point delivers more throughput with
 no more of *any* resource.
+
+The dominance test runs as one numpy broadcast per chunk of points
+(objective and resource matrices, a ≤/< mask reduction) — the pairwise
+Python path survives as :func:`pareto_frontier_reference` for
+differential testing and for the opt-in ``workers=`` process pool.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .explorer import GridPoint
 from .parallel import map_jobs
@@ -48,13 +55,48 @@ def _survivors_chunk(
     ]
 
 
-def pareto_frontier(
+def _survivors_vectorized(feasible: Sequence[GridPoint]) -> np.ndarray:
+    """Non-dominated mask over the feasible set via numpy broadcasting.
+
+    Builds the objective/resource vectors once, then tests dominance with
+    one (candidates x chunk) ≤/< mask reduction per chunk of points —
+    identical comparisons to :func:`_dominates`, so the surviving set is
+    exactly the reference's.
+    """
+    throughput = np.array([p.throughput_gops for p in feasible], dtype=np.float64)
+    alms = np.array([p.resources.alms for p in feasible], dtype=np.int64)
+    dsps = np.array([p.resources.dsps for p in feasible], dtype=np.int64)
+    m20ks = np.array([p.resources.m20ks for p in feasible], dtype=np.int64)
+    n = len(feasible)
+    survives = np.empty(n, dtype=bool)
+    # Chunk the candidate axis so the pairwise masks stay ~a few MB even on
+    # grids with tens of thousands of points.
+    chunk = max(1, min(n, 4_000_000 // max(n, 1)))
+    for lo in range(0, n, chunk):
+        sl = slice(lo, min(lo + chunk, n))
+        no_worse = (
+            (throughput[:, None] >= throughput[None, sl])
+            & (alms[:, None] <= alms[None, sl])
+            & (dsps[:, None] <= dsps[None, sl])
+            & (m20ks[:, None] <= m20ks[None, sl])
+        )
+        strictly = (
+            (throughput[:, None] > throughput[None, sl])
+            | (alms[:, None] < alms[None, sl])
+            | (dsps[:, None] < dsps[None, sl])
+            | (m20ks[:, None] < m20ks[None, sl])
+        )
+        survives[sl] = ~(no_worse & strictly).any(axis=0)
+    return survives
+
+
+def pareto_frontier_reference(
     grid: Sequence[GridPoint], workers: Optional[int] = None
 ) -> List[GridPoint]:
-    """Feasible, non-dominated points, sorted by throughput descending.
+    """Pairwise-Python reference for :func:`pareto_frontier`.
 
-    ``workers`` distributes the pairwise dominance checks over a process
-    pool; the frontier is identical for any worker count.
+    ``workers`` distributes the dominance checks over a process pool; the
+    frontier is identical for any worker count.
     """
     feasible = [point for point in grid if point.feasible]
     if workers is None or workers <= 1:
@@ -68,6 +110,28 @@ def pareto_frontier(
         survives = [
             keep for mask in map_jobs(_survivors_chunk, jobs, workers) for keep in mask
         ]
+    frontier = [point for point, keep in zip(feasible, survives) if keep]
+    return sorted(frontier, key=lambda p: -p.throughput_gops)
+
+
+def pareto_frontier(
+    grid: Sequence[GridPoint],
+    workers: Optional[int] = None,
+    compiled: bool = True,
+) -> List[GridPoint]:
+    """Feasible, non-dominated points, sorted by throughput descending.
+
+    Dominance runs as a numpy broadcast by default, identical to the
+    pairwise reference for any grid; ``compiled=False`` selects
+    :func:`pareto_frontier_reference`, where ``workers`` distributes the
+    checks over a process pool (the vectorized path ignores it).
+    """
+    if not compiled:
+        return pareto_frontier_reference(grid, workers=workers)
+    feasible = [point for point in grid if point.feasible]
+    if not feasible:
+        return []
+    survives = _survivors_vectorized(feasible)
     frontier = [point for point, keep in zip(feasible, survives) if keep]
     return sorted(frontier, key=lambda p: -p.throughput_gops)
 

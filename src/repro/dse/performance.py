@@ -21,6 +21,14 @@ Two fidelity levels:
   kernel-group ceiling (M may not divide N_knl * N_cu), vector-step
   ceiling on the prefetch windows, and per-group engine imbalance taken
   from the actual kernel statistics.
+
+This module is the *per-point reference* implementation: it scores one
+(workload, config) pair at a time, re-deriving the kernel statistics and
+walking the prefetch windows in Python. The DSE sweeps score the whole
+``N_knl x S_ec x N_cu`` space at once through the float-identical compiled
+evaluator in :mod:`repro.dse.compiled`; this path remains the differential
+baseline (``tests/test_dse_compiled.py``) and the single-point scorer used
+once a configuration is chosen.
 """
 
 from __future__ import annotations

@@ -28,6 +28,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
 
 from ..hw.config import AcceleratorConfig
 from ..hw.device import FPGADevice
@@ -98,6 +101,34 @@ class ResourceModel:
             dsps=self.dsps(config),
             m20ks=self.m20ks(config),
         )
+
+    def estimate_arrays(
+        self,
+        n_knl: np.ndarray,
+        s_ec: np.ndarray,
+        n_cu: np.ndarray,
+        n_share: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized (alms, dsps, m20ks) over broadcastable parameter arrays.
+
+        Replicates :meth:`logic` / :meth:`dsps` / :meth:`m20ks` operation for
+        operation (same association order, same float division before the
+        ceiling, same round-half-even) so every element is bit-identical to
+        the scalar estimate of the corresponding configuration. This is the
+        resource half of the compiled DSE grid (:mod:`repro.dse.compiled`).
+        """
+        n_knl = np.asarray(n_knl, dtype=np.int64)
+        s_ec = np.asarray(s_ec, dtype=np.int64)
+        n_cu = np.asarray(n_cu, dtype=np.int64)
+        per_cu_logic = (self.c1 * n_knl) * s_ec + self.c2 * n_knl
+        alms = np.rint(self.c0 + per_cu_logic * n_cu).astype(np.int64)
+        # math.ceil(int / int) in the scalar path is a *float* division; the
+        # true_divide below reproduces it exactly.
+        mult_per_cu = np.ceil((n_knl * s_ec) / n_share)
+        dsps = np.rint(self.c3 + (self.c4 * mult_per_cu) * n_cu).astype(np.int64)
+        per_cu_mem = self.c6 * s_ec + self.c7 * n_knl
+        m20ks = np.rint(self.c5 + per_cu_mem * n_cu).astype(np.int64)
+        return alms, dsps, m20ks
 
     def max_accumulators(self, device: FPGADevice, logic_limit: float = 0.8) -> int:
         """Accumulator lanes an *implementable* design can host.

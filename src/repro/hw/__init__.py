@@ -74,7 +74,13 @@ from .faults import (
     random_fault,
     truncate_stream,
 )
-from .tiling import WindowPlan, plan_windows
+from .tiling import (
+    WindowPlan,
+    clear_window_plan_cache,
+    plan_layer_windows,
+    plan_windows,
+    window_plan_cache_info,
+)
 from .trace import TaskEvent, TraceRecorder
 from .workload import (
     KernelWork,
@@ -140,6 +146,9 @@ __all__ = [
     "SYNC_CYCLES",
     "WindowPlan",
     "plan_windows",
+    "plan_layer_windows",
+    "clear_window_plan_cache",
+    "window_plan_cache_info",
     "TraceRecorder",
     "TaskEvent",
     "EmulationResult",

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..core.specs import LayerSpec
 from .config import AcceleratorConfig
@@ -76,8 +77,26 @@ def input_extent(out_extent: int, kernel: int, stride: int) -> int:
 
 
 def plan_windows(spec: LayerSpec, config: AcceleratorConfig) -> WindowPlan:
-    """Choose the largest prefetch window that fits the FT-Buffer."""
-    capacity = config.d_f * config.s_ec  # feature bytes per CU
+    """Choose the largest prefetch window that fits the FT-Buffer.
+
+    The plan depends only on the layer spec and the (d_f, s_ec) geometry of
+    the configuration, so identical (spec, d_f, s_ec) triples share one
+    cached :class:`WindowPlan` (frozen, safe to alias) — the quantized
+    performance model, the bandwidth report and the compiled DSE grid stop
+    re-planning identical layers across design points.
+    """
+    return plan_layer_windows(spec, config.d_f, config.s_ec)
+
+
+@lru_cache(maxsize=4096)
+def plan_layer_windows(spec: LayerSpec, d_f: int, s_ec: int) -> WindowPlan:
+    """LRU-cached window planner keyed on (spec, d_f, s_ec).
+
+    ``plan_windows`` delegates here; callers that vary only the buffer
+    geometry (the DSE sweeps) can call this directly without building a
+    full :class:`AcceleratorConfig`.
+    """
+    capacity = d_f * s_ec  # feature bytes per CU
     if spec.is_fc:
         # The whole input vector is one window; batch lanes give parallelism.
         if spec.input_size > capacity:
@@ -93,7 +112,7 @@ def plan_windows(spec: LayerSpec, config: AcceleratorConfig) -> WindowPlan:
             g_c=1,
             window_input_bytes=spec.input_size,
             window_output_bytes=spec.out_channels,
-            batch_images=config.s_ec,
+            batch_images=s_ec,
         )
 
     channels = spec.in_channels
@@ -113,8 +132,8 @@ def plan_windows(spec: LayerSpec, config: AcceleratorConfig) -> WindowPlan:
 
     def lane_efficiency(rows_out: int, cols_out: int) -> float:
         pixels = rows_out * cols_out
-        steps = math.ceil(pixels / config.s_ec)
-        return pixels / (steps * config.s_ec)
+        steps = math.ceil(pixels / s_ec)
+        return pixels / (steps * s_ec)
 
     if fits(1, spec.out_cols):
         # Full-width stripes: among feasible stripe heights, pick the one
@@ -157,3 +176,13 @@ def plan_windows(spec: LayerSpec, config: AcceleratorConfig) -> WindowPlan:
         window_output_bytes=spec.out_channels * w_r * w_c,
         batch_images=1,
     )
+
+
+def clear_window_plan_cache() -> None:
+    """Drop every cached :class:`WindowPlan`."""
+    plan_layer_windows.cache_clear()
+
+
+def window_plan_cache_info():
+    """``functools.lru_cache`` statistics of the window-plan cache."""
+    return plan_layer_windows.cache_info()

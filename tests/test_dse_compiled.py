@@ -1,0 +1,419 @@
+"""Differential tests: compiled whole-grid DSE vs the per-point reference.
+
+The compiled evaluator (`repro.dse.compiled`) must be *float-identical*,
+point for point, to the per-point path — same cycles, same throughput,
+same bound labels, same resource estimates, same feasibility, same chosen
+configuration — across models, modes, conv+FC layers and degenerate
+grids. These tests pin that contract with the paper workloads and with
+hypothesis-random synthetic ones.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.specs import conv_spec, fc_spec
+from repro.dse import (
+    DEFAULT_RESOURCE_MODEL,
+    MODE_IDEAL,
+    MODE_QUANTIZED,
+    best_candidates,
+    compile_workload,
+    estimate_model,
+    explore,
+    explore_joint,
+    pareto_frontier,
+    pareto_frontier_reference,
+    size_buffers,
+    steps_total_closed_form,
+    sweep_nknl,
+    sweep_nknl_reference,
+    sweep_sec_ncu,
+    sweep_sec_ncu_reference,
+)
+from repro.dse.explorer import GridPoint, buffer_cache_size, clear_buffer_cache
+from repro.dse.resources import ResourceEstimate, ResourceUtilization
+from repro.hw import STRATIX_V_GXA7, AcceleratorConfig, plan_windows
+from repro.hw.device import FPGADevice
+from repro.hw.tiling import plan_layer_windows
+from repro.hw.workload import ModelWorkload, workload_from_arrays
+from repro.workloads import synthetic_model_workload
+
+TINY_DEVICE = FPGADevice("tiny", alms=5000, dsps=4, m20k_blocks=8, bandwidth_gbs=1.0)
+
+
+@pytest.fixture(scope="module")
+def vgg_workload():
+    return synthetic_model_workload("vgg16", seed=1)
+
+
+@pytest.fixture(scope="module")
+def alexnet_workload():
+    return synthetic_model_workload("alexnet", seed=1)
+
+
+# ---------------------------------------------------------------------------
+# Pinned paper workloads: the sweeps and the whole flow must be identical.
+# ---------------------------------------------------------------------------
+
+
+class TestPaperWorkloadsIdentical:
+    @pytest.mark.parametrize("model", ["alexnet", "vgg16"])
+    def test_sweep_nknl_identical(self, model):
+        workload = synthetic_model_workload(model, seed=1)
+        compiled = sweep_nknl(
+            workload, DEFAULT_RESOURCE_MODEL, n_share=4, device=STRATIX_V_GXA7
+        )
+        reference = sweep_nknl_reference(
+            workload, DEFAULT_RESOURCE_MODEL, n_share=4, device=STRATIX_V_GXA7
+        )
+        assert compiled == reference  # dataclass equality: floats must match
+
+    @pytest.mark.parametrize("model", ["alexnet", "vgg16"])
+    def test_sweep_sec_ncu_identical(self, model):
+        workload = synthetic_model_workload(model, seed=1)
+        compiled = sweep_sec_ncu(
+            workload, STRATIX_V_GXA7, DEFAULT_RESOURCE_MODEL, n_knl=14, n_share=4
+        )
+        reference = sweep_sec_ncu_reference(
+            workload, STRATIX_V_GXA7, DEFAULT_RESOURCE_MODEL, n_knl=14, n_share=4
+        )
+        assert compiled == reference
+
+    def test_explore_identical(self, vgg_workload):
+        compiled = explore(vgg_workload, STRATIX_V_GXA7)
+        reference = explore(vgg_workload, STRATIX_V_GXA7, compiled=False)
+        assert compiled.n_share == reference.n_share
+        assert compiled.chosen_n_knl == reference.chosen_n_knl
+        assert compiled.nknl_sweep == reference.nknl_sweep
+        assert compiled.grid == reference.grid
+        assert compiled.candidates == reference.candidates
+        assert compiled.chosen == reference.chosen
+        assert compiled.performance == reference.performance
+
+    def test_explore_joint_identical(self, alexnet_workload, vgg_workload):
+        workloads = [alexnet_workload, vgg_workload]
+        compiled = explore_joint(workloads, STRATIX_V_GXA7)
+        reference = explore_joint(workloads, STRATIX_V_GXA7, compiled=False)
+        assert compiled.chosen == reference.chosen
+        assert compiled.candidates == reference.candidates
+        assert compiled.best_single == reference.best_single
+
+    def test_best_candidates_identical(self, vgg_workload):
+        grid = sweep_sec_ncu(
+            vgg_workload, STRATIX_V_GXA7, DEFAULT_RESOURCE_MODEL, n_knl=14, n_share=4
+        )
+        reference = sweep_sec_ncu_reference(
+            vgg_workload, STRATIX_V_GXA7, DEFAULT_RESOURCE_MODEL, n_knl=14, n_share=4
+        )
+        assert best_candidates(grid) == best_candidates(reference)
+
+
+# ---------------------------------------------------------------------------
+# Degenerate grids.
+# ---------------------------------------------------------------------------
+
+
+class TestDegenerateGrids:
+    def test_single_point_grid(self, alexnet_workload):
+        kwargs = dict(n_knl=14, n_share=4, s_ec_range=(20,), n_cu_range=(3,))
+        compiled = sweep_sec_ncu(
+            alexnet_workload, STRATIX_V_GXA7, DEFAULT_RESOURCE_MODEL, **kwargs
+        )
+        reference = sweep_sec_ncu_reference(
+            alexnet_workload, STRATIX_V_GXA7, DEFAULT_RESOURCE_MODEL, **kwargs
+        )
+        assert len(compiled) == 1
+        assert compiled == reference
+
+    def test_single_point_nknl(self, alexnet_workload):
+        kwargs = dict(n_share=4, device=STRATIX_V_GXA7, n_knl_range=(14,))
+        compiled = sweep_nknl(alexnet_workload, DEFAULT_RESOURCE_MODEL, **kwargs)
+        reference = sweep_nknl_reference(
+            alexnet_workload, DEFAULT_RESOURCE_MODEL, **kwargs
+        )
+        assert len(compiled) == 1
+        assert compiled == reference
+        assert compiled[0].normalized_boost == 1.0
+
+    def test_empty_nknl_range(self, alexnet_workload):
+        assert (
+            sweep_nknl(
+                alexnet_workload,
+                DEFAULT_RESOURCE_MODEL,
+                n_share=4,
+                n_knl_range=(),
+            )
+            == []
+        )
+
+    def test_all_infeasible_grid(self, alexnet_workload):
+        kwargs = dict(n_knl=14, n_share=4)
+        compiled = sweep_sec_ncu(
+            alexnet_workload, TINY_DEVICE, DEFAULT_RESOURCE_MODEL, **kwargs
+        )
+        reference = sweep_sec_ncu_reference(
+            alexnet_workload, TINY_DEVICE, DEFAULT_RESOURCE_MODEL, **kwargs
+        )
+        assert compiled == reference
+        assert not any(point.feasible for point in compiled)
+
+    def test_all_infeasible_explore_raises_both_paths(self, alexnet_workload):
+        with pytest.raises((RuntimeError, ValueError)):
+            explore(alexnet_workload, TINY_DEVICE)
+        with pytest.raises((RuntimeError, ValueError)):
+            explore(alexnet_workload, TINY_DEVICE, compiled=False)
+
+    def test_no_device_marks_everything_feasible(self, alexnet_workload):
+        compiled = sweep_nknl(alexnet_workload, DEFAULT_RESOURCE_MODEL, n_share=4)
+        reference = sweep_nknl_reference(
+            alexnet_workload, DEFAULT_RESOURCE_MODEL, n_share=4
+        )
+        assert compiled == reference
+        assert all(point.feasible for point in compiled)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: random synthetic workloads, both modes, conv + FC layers.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def layer_workload(draw, index: int = 0):
+    if draw(st.booleans()):
+        spec = fc_spec(
+            f"fc{index}", draw(st.integers(1, 64)), draw(st.integers(1, 10))
+        )
+    else:
+        kernel = draw(st.integers(1, 3))
+        spec = conv_spec(
+            f"conv{index}",
+            draw(st.integers(1, 6)),
+            draw(st.integers(1, 10)),
+            kernel=kernel,
+            in_rows=draw(st.integers(kernel, 9)),
+            in_cols=draw(st.integers(kernel, 9)),
+            stride=draw(st.integers(1, 2)),
+            padding=draw(st.integers(0, 1)),
+        )
+    limit = spec.weights_per_kernel
+    nonzeros = draw(
+        st.lists(
+            st.integers(0, limit),
+            min_size=spec.out_channels,
+            max_size=spec.out_channels,
+        )
+    )
+    distinct = [draw(st.integers(0, n)) for n in nonzeros]
+    return workload_from_arrays(spec, nonzeros, distinct)
+
+
+@st.composite
+def model_workload(draw):
+    count = draw(st.integers(1, 3))
+    layers = tuple(draw(layer_workload(index=i)) for i in range(count))
+    # All-zero workloads make the reference raise ZeroDivisionError on the
+    # throughput; keep at least one real kernel (as any encoded model has).
+    if not any(k.nonzeros for layer in layers for k in layer.kernels):
+        first = layers[0]
+        patched = workload_from_arrays(
+            first.spec,
+            [max(1, k.nonzeros) for k in first.kernels],
+            [max(1, k.distinct_values) for k in first.kernels],
+        )
+        layers = (patched,) + layers[1:]
+    return ModelWorkload(name="hyp", layers=layers)
+
+
+grid_axes = st.tuples(
+    st.lists(st.integers(1, 18), min_size=1, max_size=2, unique=True),
+    st.lists(st.integers(1, 24), min_size=1, max_size=2, unique=True),
+    st.lists(st.integers(1, 5), min_size=1, max_size=2, unique=True),
+)
+
+
+class TestHypothesisDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        workload=model_workload(),
+        n_share=st.integers(1, 6),
+        axes=grid_axes,
+        mode=st.sampled_from([MODE_QUANTIZED, MODE_IDEAL]),
+        use_device=st.booleans(),
+    )
+    def test_grid_matches_per_point_model(
+        self, workload, n_share, axes, mode, use_device
+    ):
+        n_knl_values, s_ec_values, n_cu_values = axes
+        device = STRATIX_V_GXA7 if use_device else None
+        evaluation = compile_workload(workload, n_share).evaluate_grid(
+            DEFAULT_RESOURCE_MODEL,
+            device=device,
+            n_knl_values=n_knl_values,
+            s_ec_values=s_ec_values,
+            n_cu_values=n_cu_values,
+            mode=mode,
+        )
+        for i in range(len(n_knl_values)):
+            for j in range(len(s_ec_values)):
+                for k in range(len(n_cu_values)):
+                    config = evaluation.config_at(i, j, k)
+                    perf = estimate_model(workload, config, mode=mode)
+                    assert (
+                        evaluation.cycles_per_image[i, j, k] == perf.cycles_per_image
+                    )
+                    assert (
+                        evaluation.throughput_gops[i, j, k] == perf.throughput_gops
+                    )
+                    assert evaluation.layer_bounds == tuple(
+                        layer.bound for layer in perf.layers
+                    )
+                    estimate = DEFAULT_RESOURCE_MODEL.estimate(config)
+                    assert evaluation.estimate_at(i, j, k) == estimate
+                    if device is None:
+                        assert evaluation.utilization_at(i, j, k) is None
+                        assert bool(evaluation.feasible[i, j, k])
+                    else:
+                        utilization = estimate.utilization(device)
+                        assert evaluation.utilization_at(i, j, k) == utilization
+                        assert bool(evaluation.feasible[i, j, k]) == utilization.fits(
+                            evaluation.logic_limit
+                        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(workload=model_workload(), n_share=st.integers(1, 5))
+    def test_sweeps_match_reference(self, workload, n_share):
+        kwargs = dict(n_knl_range=(1, 3, 7), s_ec=6, n_cu=2, device=STRATIX_V_GXA7)
+        assert sweep_nknl(
+            workload, DEFAULT_RESOURCE_MODEL, n_share, **kwargs
+        ) == sweep_nknl_reference(workload, DEFAULT_RESOURCE_MODEL, n_share, **kwargs)
+        grid_kwargs = dict(
+            n_knl=5, n_share=n_share, s_ec_range=(2, 9), n_cu_range=(1, 4)
+        )
+        assert sweep_sec_ncu(
+            workload, STRATIX_V_GXA7, DEFAULT_RESOURCE_MODEL, **grid_kwargs
+        ) == sweep_sec_ncu_reference(
+            workload, STRATIX_V_GXA7, DEFAULT_RESOURCE_MODEL, **grid_kwargs
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(0, 4),  # throughput bucket (ties on purpose)
+                st.integers(0, 3),  # alms
+                st.integers(0, 3),  # dsps
+                st.integers(0, 3),  # m20ks
+                st.booleans(),  # feasible
+            ),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    def test_pareto_matches_reference_on_random_grids(self, data):
+        config = AcceleratorConfig(n_cu=1, n_knl=1, n_share=1, s_ec=1)
+        utilization = ResourceUtilization(logic=0.5, dsp=0.5, memory=0.5)
+        grid = [
+            GridPoint(
+                config=config,
+                throughput_gops=float(t) / 2.0,
+                resources=ResourceEstimate(alms=a, dsps=d, m20ks=m),
+                utilization=utilization,
+                feasible=feasible,
+            )
+            for t, a, d, m, feasible in data
+        ]
+        assert pareto_frontier(grid) == pareto_frontier_reference(grid)
+
+
+# ---------------------------------------------------------------------------
+# The closed-form window-step sum vs the reference per-window loop.
+# ---------------------------------------------------------------------------
+
+
+class TestStepsClosedForm:
+    @pytest.mark.parametrize("model", ["alexnet", "vgg16"])
+    @pytest.mark.parametrize("s_ec", [4, 20, 31])
+    def test_matches_window_loop(self, model, s_ec):
+        import math
+
+        workload = synthetic_model_workload(model, seed=1)
+        buffers = size_buffers(workload, s_ec)
+        for layer in workload.layers:
+            plan = plan_layer_windows(layer.spec, buffers.d_f, s_ec)
+            expected = 0
+            for window_index in range(plan.windows):
+                row_tile, col_tile = divmod(window_index, plan.g_c)
+                rows = min(
+                    plan.window_rows,
+                    layer.spec.out_rows - row_tile * plan.window_rows,
+                )
+                cols = min(
+                    plan.window_cols,
+                    layer.spec.out_cols - col_tile * plan.window_cols,
+                )
+                expected += math.ceil(rows * cols / s_ec)
+            steps, batch = steps_total_closed_form(layer.spec, buffers.d_f, s_ec)
+            assert steps == expected
+            assert batch == plan.batch_images
+
+
+# ---------------------------------------------------------------------------
+# Caches: size_buffers memo, window-plan LRU, compiled-workload memo.
+# ---------------------------------------------------------------------------
+
+
+class TestCaches:
+    def test_size_buffers_memoized_per_identity(self, alexnet_workload):
+        clear_buffer_cache()
+        first = size_buffers(alexnet_workload, 20)
+        assert size_buffers(alexnet_workload, 20) is first
+        assert buffer_cache_size() == 1
+        assert size_buffers(alexnet_workload, 16) is not first
+        assert buffer_cache_size() == 2
+        # A content-equal copy is a different identity: recomputed, equal.
+        copy = ModelWorkload(name=alexnet_workload.name, layers=alexnet_workload.layers)
+        assert size_buffers(copy, 20) == first
+
+    def test_window_plans_shared_across_configs(self, alexnet_workload):
+        spec = alexnet_workload.layers[0].spec
+        a = AcceleratorConfig(n_cu=1, n_knl=4, n_share=2, s_ec=20, d_f=1568)
+        b = AcceleratorConfig(n_cu=6, n_knl=16, n_share=4, s_ec=20, d_f=1568)
+        assert plan_windows(spec, a) is plan_windows(spec, b)
+
+    def test_compiled_workload_memoized(self, alexnet_workload):
+        assert compile_workload(alexnet_workload, 4) is compile_workload(
+            alexnet_workload, 4
+        )
+        assert compile_workload(alexnet_workload, 2) is not compile_workload(
+            alexnet_workload, 4
+        )
+
+    def test_group_max_sums_match_reference_reduction(self, vgg_workload):
+        compiled = compile_workload(vgg_workload, 4)
+        for n_knl in (1, 3, 14, 23):
+            sums = compiled.group_max_sums(n_knl)
+            for index, layer in enumerate(vgg_workload.layers):
+                engine = np.maximum(
+                    layer.nonzeros_array(), layer.distinct_array() * 4
+                )
+                groups = -(-len(engine) // n_knl)
+                pad = groups * n_knl - len(engine)
+                if pad:
+                    engine = np.concatenate(
+                        [engine, np.zeros(pad, dtype=engine.dtype)]
+                    )
+                order = np.sort(engine)[::-1]
+                expected = float(order.reshape(groups, n_knl).max(axis=1).sum())
+                assert sums[index] == expected
+
+    def test_evaluate_grid_rejects_unknown_mode(self, alexnet_workload):
+        compiled = compile_workload(alexnet_workload, 4)
+        with pytest.raises(ValueError):
+            compiled.evaluate_grid(
+                DEFAULT_RESOURCE_MODEL,
+                n_knl_values=(14,),
+                s_ec_values=(20,),
+                n_cu_values=(3,),
+                mode="exact",
+            )
