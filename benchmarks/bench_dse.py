@@ -32,10 +32,26 @@ from repro.dse import (
 )
 from repro.hw import STRATIX_V_GXA7
 from repro.hw.tiling import clear_window_plan_cache
+from repro.telemetry import Telemetry, activate
 from repro.workloads import synthetic_model_workload
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") not in ("0", "")
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_dse.json"
+
+
+def _telemetry_section(telemetry):
+    """Compact snapshot for bench artifacts: cache hit rates + span totals."""
+    snapshot = telemetry.snapshot(include_spans=False)
+    return {
+        "caches": {
+            name: {
+                key: data[key]
+                for key in ("hits", "misses", "evictions", "hit_rate")
+            }
+            for name, data in snapshot["caches"].items()
+        },
+        "span_totals": telemetry.tracer.totals(),
+    }
 
 
 def _best_of(fn, repeats):
@@ -128,6 +144,16 @@ def test_bench_dse_artifact():
             f"cold {cold_s * 1e3:6.2f} ms  "
             f"speedup {entry['speedup_compiled_vs_reference']:6.2f}x"
         )
+
+    # One instrumented warm explore per model (outside the timed loops)
+    # captures the DSE memo hit story and a bench-level span total.
+    telemetry = Telemetry()
+    with activate(telemetry):
+        for model in ("alexnet", "vgg16"):
+            workload = synthetic_model_workload(model, seed=1)
+            with telemetry.span("explore", model=model):
+                explore(workload, STRATIX_V_GXA7)
+    report["telemetry"] = _telemetry_section(telemetry)
 
     ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
     print(f"  wrote {ARTIFACT}")

@@ -35,7 +35,23 @@ from repro.core import (
     encode_layer,
 )
 from repro.core.specs import conv_spec
+from repro.telemetry import Telemetry, activate
 from repro.workloads import synthesize_quantized_layer, synthetic_feature_codes
+
+
+def _telemetry_section(telemetry):
+    """Compact snapshot for bench artifacts: cache hit rates + span totals."""
+    snapshot = telemetry.snapshot(include_spans=False)
+    return {
+        "caches": {
+            name: {
+                key: data[key]
+                for key in ("hits", "misses", "evictions", "hit_rate")
+            }
+            for name, data in snapshot["caches"].items()
+        },
+        "span_totals": telemetry.tracer.totals(),
+    }
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") not in ("0", "")
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
@@ -196,6 +212,13 @@ def test_bench_compiled_real_layers():
             f"speedup {entry['speedup_vs_vectorized']:5.2f}x  "
             f"compile {compile_s * 1e3:6.2f} ms"
         )
+
+    # One instrumented pass (outside the timed loops, so timings above stay
+    # untelemetered) captures kernel span totals and the bench's cache story.
+    telemetry = Telemetry()
+    with activate(telemetry):
+        abm_conv2d(features, encoded, geometry)
+    report["telemetry"] = _telemetry_section(telemetry)
 
     ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
     print(f"  wrote {ARTIFACT}")

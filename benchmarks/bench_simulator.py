@@ -28,10 +28,26 @@ from repro.hw import (
     AcceleratorSimulator,
     clear_sim_cache,
 )
+from repro.telemetry import Telemetry, activate
 from repro.workloads import synthetic_model_workload
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") not in ("0", "")
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+
+
+def _telemetry_section(telemetry):
+    """Compact snapshot for bench artifacts: cache hit rates + span totals."""
+    snapshot = telemetry.snapshot(include_spans=False)
+    return {
+        "caches": {
+            name: {
+                key: data[key]
+                for key in ("hits", "misses", "evictions", "hit_rate")
+            }
+            for name, data in snapshot["caches"].items()
+        },
+        "span_totals": telemetry.tracer.totals(),
+    }
 
 
 @pytest.mark.parametrize(
@@ -141,6 +157,20 @@ def test_bench_fastsim_artifact():
             f"cached {cached_s * 1e3:6.2f} ms  "
             f"speedup {entry['speedup_fast_vs_reference']:5.2f}x"
         )
+
+    # One instrumented cached replay (outside the timed loops) captures the
+    # sim-cache hit story and a bench-level span total per model.
+    telemetry = Telemetry()
+    with activate(telemetry):
+        for model, config in (
+            ("alexnet", PAPER_CONFIG_ALEXNET),
+            ("vgg16", PAPER_CONFIG_VGG16),
+        ):
+            workload = synthetic_model_workload(model, seed=1)
+            simulator = AcceleratorSimulator(config, STRATIX_V_GXA7)
+            with telemetry.span("simulate", model=model):
+                simulator.simulate(workload)
+    report["telemetry"] = _telemetry_section(telemetry)
 
     ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
     print(f"  wrote {ARTIFACT}")

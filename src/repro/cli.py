@@ -10,7 +10,11 @@ Commands
   flow and print the chosen configuration.
 - ``roofline`` — print the Figure 1 roofline for a device.
 - ``serve-sim --model {lenet,cifarnet}`` — simulate batched serving across
-  a pool of accelerator instances and print the latency/throughput report.
+  a pool of accelerator instances and print the latency/throughput report;
+  ``--metrics-out FILE`` additionally records the run through
+  :mod:`repro.telemetry` and writes the JSONL snapshot.
+- ``metrics`` — inspect, validate (``--check``) or convert
+  (``--format prometheus``) an exported telemetry snapshot.
 """
 
 from __future__ import annotations
@@ -66,7 +70,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     device = get_device(args.device)
     workload = synthetic_model_workload(args.model, seed=args.seed)
     simulator = AcceleratorSimulator(config, device, use_cache=not args.no_cache)
-    result = simulator.simulate(workload, workers=args.workers)
+    trace = None
+    if args.trace:
+        from .hw.trace import TraceRecorder
+
+        trace = TraceRecorder(capacity=args.trace_capacity)
+    result = simulator.simulate(workload, workers=args.workers, trace=trace)
     print(f"model: {args.model}   config: {config.describe()}")
     print(simulator.utilization_summary(result))
     print()
@@ -75,6 +84,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"inference time:   {result.seconds_per_image * 1e3:8.2f} ms/image")
     print(f"CU utilization:   {result.cu_utilization:8.1%}")
     print(f"avg bandwidth:    {result.bandwidth_gbs:8.2f} GB/s")
+    if trace is not None:
+        print(
+            f"trace:            {trace.recorded} event(s) recorded, "
+            f"{trace.dropped} dropped"
+        )
     return 0
 
 
@@ -197,7 +211,12 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     policy = BatchPolicy(
         max_batch=args.max_batch, max_wait_s=args.max_wait_ms * 1e-3
     )
-    report = ServingSimulator(pool, policy).run(requests)
+    telemetry = None
+    if args.metrics_out:
+        from .telemetry import Telemetry
+
+        telemetry = Telemetry()
+    report = ServingSimulator(pool, policy, telemetry=telemetry).run(requests)
     print(
         f"serving simulation — {args.model} on {args.workers} simulated "
         f"accelerator instance(s)"
@@ -213,6 +232,17 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         f"model cache:     {info.size} deployment(s), "
         f"{info.hits} hits / {info.misses} misses"
     )
+    if telemetry is not None:
+        from .telemetry import write_jsonl
+
+        snapshot = telemetry.snapshot()
+        size = write_jsonl(snapshot, args.metrics_out)
+        totals = snapshot["span_totals"]
+        spans = ", ".join(
+            f"{name}×{int(data['count'])}" for name, data in sorted(totals.items())
+        )
+        print(f"telemetry:       {spans}")
+        print(f"metrics written: {args.metrics_out} ({size} bytes)")
     return 0
 
 
@@ -246,6 +276,122 @@ def _cmd_encode(args: argparse.Namespace) -> int:
     print(f"wrote {args.out}: {len(layers)} layers, {size / 1e6:.2f} MB")
     if skipped:
         print(f"({skipped} layers above --max-layer-weights were skipped)")
+    return 0
+
+
+def _demo_snapshot() -> dict:
+    """A tiny deterministic telemetry snapshot (virtual clock, no compute).
+
+    Exercises every record kind the exporters know — counters, gauges,
+    histograms, cache stats, a nested span tree — so ``metrics`` without
+    ``--from`` doubles as a self-check of the telemetry plumbing.
+    """
+    from .telemetry import Telemetry, VirtualClock, activate
+
+    clock = VirtualClock()
+    telemetry = Telemetry(clock=clock.now)
+    with activate(telemetry):
+        with telemetry.span("request", demo=True):
+            clock.advance(1e-3)
+            with telemetry.span("batch", size=2):
+                clock.advance(2e-3)
+        registry = telemetry.registry
+        registry.counter("demo/requests").inc(2)
+        registry.gauge("demo/queue_depth").set(1)
+        histogram = registry.histogram("demo/latency_s")
+        histogram.observe(1e-3)
+        histogram.observe(3e-3)
+        return telemetry.snapshot()
+
+
+def _render_metrics_summary(snapshot: dict) -> str:
+    lines = [f"schema: {snapshot.get('schema')}"]
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    if counters or gauges:
+        lines.append("metrics:")
+        for name, value in counters.items():
+            lines.append(f"  {name:<32} {value:>12g}  (counter)")
+        for name, value in gauges.items():
+            lines.append(f"  {name:<32} {value:>12g}  (gauge)")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name, data in histograms.items():
+            p50 = data.get("p50")
+            p95 = data.get("p95")
+            fmt = lambda v: f"{v:.3g}" if v is not None else "-"
+            lines.append(
+                f"  {name:<32} n={data['count']:<6} "
+                f"p50={fmt(p50)} p95={fmt(p95)} max={fmt(data.get('max'))}"
+            )
+    caches = snapshot.get("caches", {})
+    if caches:
+        lines.append("caches:")
+        for name, data in caches.items():
+            lines.append(
+                f"  {name:<16} {data['hits']:>8} hits {data['misses']:>8} misses "
+                f"{data['evictions']:>6} evictions  "
+                f"hit rate {data.get('hit_rate', 0.0):6.1%}"
+            )
+    totals = snapshot.get("span_totals", {})
+    if totals:
+        lines.append("spans:")
+        for name, data in sorted(totals.items()):
+            lines.append(
+                f"  {name:<16} ×{int(data['count']):<6} "
+                f"total {data['total_s'] * 1e3:.3f} ms"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Inspect, validate or convert a telemetry snapshot."""
+    from .telemetry import (
+        export_jsonl,
+        parse_jsonl,
+        prometheus_text,
+        validate_snapshot,
+    )
+
+    if args.snapshot_file:
+        try:
+            with open(args.snapshot_file, "r", encoding="utf-8") as handle:
+                snapshot = parse_jsonl(handle.read())
+        except OSError as error:
+            print(f"metrics: cannot read {args.snapshot_file}: {error}")
+            return 2
+        except ValueError as error:
+            print(f"metrics: {args.snapshot_file}: {error}")
+            return 2
+    else:
+        snapshot = _demo_snapshot()
+    problems = validate_snapshot(snapshot)
+    if args.check:
+        if problems:
+            for problem in problems:
+                print(f"problem: {problem}")
+            print(f"snapshot INVALID ({len(problems)} problem(s))")
+            return 1
+        sections = (
+            f"{len(snapshot.get('counters', {}))} counter(s), "
+            f"{len(snapshot.get('gauges', {}))} gauge(s), "
+            f"{len(snapshot.get('histograms', {}))} histogram(s), "
+            f"{len(snapshot.get('caches', {}))} cache(s), "
+            f"{len(snapshot.get('spans', []))} span tree(s)"
+        )
+        print(f"snapshot ok: {sections}")
+        return 0
+    if args.format == "jsonl":
+        print(export_jsonl(snapshot), end="")
+    elif args.format == "prometheus":
+        print(prometheus_text(snapshot), end="")
+    else:
+        print(_render_metrics_summary(snapshot))
+        if problems:
+            for problem in problems:
+                print(f"problem: {problem}")
+            return 1
     return 0
 
 
@@ -286,6 +432,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bypass the layer-simulation result cache")
     p_sim.add_argument("--workers", type=int, default=None,
                        help="parallel layer-simulation processes")
+    p_sim.add_argument("--trace", action="store_true",
+                       help="record per-task scheduler events (serial, uncached)")
+    p_sim.add_argument("--trace-capacity", type=int, default=None,
+                       help="ring-buffer capacity; overflow is reported as dropped")
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_dse = sub.add_parser("explore", help="run design space exploration")
@@ -330,7 +480,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dynamic batcher deadline")
     p_srv.add_argument("--density", type=float, default=0.4,
                        help="uniform pruning density before quantization")
+    p_srv.add_argument("--metrics-out", default=None,
+                       help="record the run through repro.telemetry and "
+                            "write the JSONL snapshot to this file")
     p_srv.set_defaults(func=_cmd_serve_sim)
+
+    p_met = sub.add_parser(
+        "metrics", help="inspect or validate a telemetry snapshot"
+    )
+    p_met.add_argument("--from", dest="snapshot_file", default=None,
+                       help="JSONL snapshot to load (default: built-in demo)")
+    p_met.add_argument("--check", action="store_true",
+                       help="schema-validate and exit 1 on problems")
+    p_met.add_argument("--format", choices=("summary", "jsonl", "prometheus"),
+                       default="summary")
+    p_met.set_defaults(func=_cmd_metrics)
 
     p_enc = sub.add_parser("encode", help="write an encoded-model blob")
     p_enc.add_argument("--model", choices=("alexnet", "vgg16"), default="alexnet")

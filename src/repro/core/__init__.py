@@ -29,6 +29,7 @@ from .encoding import (
     EncodedLayer,
     QTableEntry,
     clear_encode_cache,
+    encode_cache_stats,
     decode_kernel,
     decode_layer,
     encode_kernel,
@@ -41,6 +42,7 @@ from .encoding import (
 from .plan import (
     LayerPlan,
     clear_plan_cache,
+    plan_cache_stats,
     compile_layer_plan,
     plan_cache_size,
 )
@@ -99,6 +101,7 @@ __all__ = [
     "encode_layer",
     "encode_layer_cached",
     "clear_encode_cache",
+    "encode_cache_stats",
     "decode_layer",
     "encoded_model_bytes",
     "pack_index",
@@ -106,6 +109,7 @@ __all__ = [
     "LayerPlan",
     "compile_layer_plan",
     "clear_plan_cache",
+    "plan_cache_stats",
     "plan_cache_size",
     "FDCONV_REDUCTION",
     "LayerOpCounts",

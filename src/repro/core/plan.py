@@ -45,6 +45,8 @@ from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Tupl
 
 import numpy as np
 
+from ..telemetry.caches import CacheStats, register_cache
+from ..telemetry.context import get_active
 from .encoding import EncodedLayer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle with repro.core.abm
@@ -308,6 +310,17 @@ class LayerPlan:
         Returns (output (B, M, R', C'), accumulate_ops, multiply_ops) with
         op counts totalled over the whole batch.
         """
+        telemetry = get_active()
+        if telemetry is None:
+            return self._execute_batch(batch, bias_codes)
+        with telemetry.span("kernel", layer=self.name, images=int(batch.shape[0])):
+            return self._execute_batch(batch, bias_codes)
+
+    def _execute_batch(
+        self,
+        batch: np.ndarray,
+        bias_codes: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, int, int]:
         geometry = self.geometry
         images, channels, rows, cols = batch.shape
         if self.group_in and channels != self.group_in * geometry.groups:
@@ -522,13 +535,18 @@ _plan_refs: Dict[int, "weakref.ref[EncodedLayer]"] = {}
 #: Reentrant: a weakref.finalize eviction can fire from a GC triggered while
 #: compile_layer_plan already holds the lock in the same thread.
 _plan_lock = threading.RLock()
+_plan_hits = 0
+_plan_misses = 0
+_plan_evictions = 0
 
 
 def _evict_plans(encoded_id: int) -> None:
+    global _plan_evictions
     with _plan_lock:
         _plan_refs.pop(encoded_id, None)
         for key in [k for k in _plan_cache if k[0] == encoded_id]:
             del _plan_cache[key]
+            _plan_evictions += 1
 
 
 def compile_layer_plan(encoded: EncodedLayer, geometry: "ConvGeometry") -> LayerPlan:
@@ -540,6 +558,7 @@ def compile_layer_plan(encoded: EncodedLayer, geometry: "ConvGeometry") -> Layer
     Lookup and insertion are lock-guarded — serve workers and parallel
     simulation may compile plans concurrently.
     """
+    global _plan_hits, _plan_misses
     key = (id(encoded), geometry)
     with _plan_lock:
         plan = _plan_cache.get(key)
@@ -547,18 +566,22 @@ def compile_layer_plan(encoded: EncodedLayer, geometry: "ConvGeometry") -> Layer
             ref = _plan_refs.get(id(encoded))
             if ref is not None and ref() is encoded:
                 _plan_cache.move_to_end(key)
+                _plan_hits += 1
                 return plan
             _evict_plans(id(encoded))
+        _plan_misses += 1
     # Compile outside the lock: plans are deterministic, so if two threads
     # race on the same key the loser's insert is a harmless overwrite.
     plan = LayerPlan(encoded, geometry)
     with _plan_lock:
+        global _plan_evictions
         _plan_cache[key] = plan
         if id(encoded) not in _plan_refs:
             _plan_refs[id(encoded)] = weakref.ref(encoded)
             weakref.finalize(encoded, _evict_plans, id(encoded))
         while len(_plan_cache) > PLAN_CACHE_CAPACITY:
             old_key, _ = _plan_cache.popitem(last=False)
+            _plan_evictions += 1
             if not any(k[0] == old_key[0] for k in _plan_cache):
                 _plan_refs.pop(old_key[0], None)
     return plan
@@ -566,11 +589,31 @@ def compile_layer_plan(encoded: EncodedLayer, geometry: "ConvGeometry") -> Layer
 
 def clear_plan_cache() -> None:
     """Drop all compiled plans (tests and memory-sensitive callers)."""
+    global _plan_hits, _plan_misses, _plan_evictions
     with _plan_lock:
         _plan_cache.clear()
         _plan_refs.clear()
+        _plan_hits = 0
+        _plan_misses = 0
+        _plan_evictions = 0
 
 
 def plan_cache_size() -> int:
     with _plan_lock:
         return len(_plan_cache)
+
+
+def plan_cache_stats() -> CacheStats:
+    """Hit/miss/eviction accounting of the plan cache (telemetry view)."""
+    with _plan_lock:
+        return CacheStats(
+            hits=_plan_hits,
+            misses=_plan_misses,
+            evictions=_plan_evictions,
+            size=len(_plan_cache),
+            capacity=PLAN_CACHE_CAPACITY,
+            name="core.plan",
+        )
+
+
+register_cache("core.plan", plan_cache_stats)

@@ -23,8 +23,10 @@ from .hw.accelerator import AcceleratorSimulator, ModelSimResult
 from .hw.buffers import BufferRequirement, buffer_report
 from .hw.config import AcceleratorConfig
 from .hw.device import STRATIX_V_GXA7, FPGADevice
+from .hw.trace import TraceRecorder
 from .hw.workload import ModelWorkload, workload_from_encoded
 from .pipeline import QuantizedPipeline
+from .telemetry.context import get_active
 
 
 class DeploymentError(RuntimeError):
@@ -60,16 +62,26 @@ class DeployedModel:
         device: FPGADevice = STRATIX_V_GXA7,
         cache: bool = True,
         workers: Optional[int] = None,
+        trace: Optional["TraceRecorder"] = None,
     ) -> ModelSimResult:
         """Estimate the deployment's performance on a device.
 
         Routed through the process-wide layer-simulation result cache, so
         repeated deployments of the same workload (serve pools, DSE sweeps)
         do not re-simulate; pass ``cache=False`` to bypass it. ``workers``
-        opts into parallel multi-layer simulation.
+        opts into parallel multi-layer simulation; ``trace`` forwards a
+        :class:`~repro.hw.trace.TraceRecorder` (traced runs are serial and
+        uncached, see :meth:`AcceleratorSimulator.simulate`).
+
+        When a telemetry context is active the whole estimate runs under a
+        ``simulate`` span.
         """
         simulator = AcceleratorSimulator(self.config, device, use_cache=cache)
-        return simulator.simulate(self.workload, workers=workers)
+        telemetry = get_active()
+        if telemetry is None:
+            return simulator.simulate(self.workload, workers=workers, trace=trace)
+        with telemetry.span("simulate", model=self.workload.name, device=device.name):
+            return simulator.simulate(self.workload, workers=workers, trace=trace)
 
 
 def deploy(

@@ -17,6 +17,7 @@ from .compiled import (
     CompiledWorkload,
     GridEvaluation,
     clear_compiled_cache,
+    compiled_cache_stats,
     compile_workload,
     compiled_cache_size,
     steps_total_closed_form,
@@ -28,6 +29,7 @@ from .explorer import (
     NknlPoint,
     best_candidates,
     buffer_cache_size,
+    buffer_cache_stats,
     clear_buffer_cache,
     explore,
     optimal_nknl,
@@ -86,10 +88,12 @@ __all__ = [
     "NknlPoint",
     "best_candidates",
     "buffer_cache_size",
+    "buffer_cache_stats",
     "clear_buffer_cache",
     "clear_compiled_cache",
     "compile_workload",
     "compiled_cache_size",
+    "compiled_cache_stats",
     "explore",
     "optimal_nknl",
     "size_buffers",

@@ -12,6 +12,7 @@ from .accelerator import (
     AcceleratorSimulator,
     ModelSimResult,
     clear_sim_cache,
+    sim_cache_info,
     sim_cache_size,
     sim_cache_stats,
 )
@@ -80,6 +81,7 @@ from .tiling import (
     plan_layer_windows,
     plan_windows,
     window_plan_cache_info,
+    window_plan_cache_stats,
 )
 from .trace import TaskEvent, TraceRecorder
 from .workload import (
@@ -94,6 +96,7 @@ __all__ = [
     "AcceleratorSimulator",
     "ModelSimResult",
     "clear_sim_cache",
+    "sim_cache_info",
     "sim_cache_size",
     "sim_cache_stats",
     "AddressGenerator",
@@ -149,6 +152,7 @@ __all__ = [
     "plan_layer_windows",
     "clear_window_plan_cache",
     "window_plan_cache_info",
+    "window_plan_cache_stats",
     "TraceRecorder",
     "TaskEvent",
     "EmulationResult",

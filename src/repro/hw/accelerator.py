@@ -24,10 +24,13 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..telemetry.caches import CacheStats, register_cache
+from ..telemetry.context import get_active
 from .config import AcceleratorConfig
 from .device import FPGADevice
 from .memory import ExternalMemory
 from .scheduler import POLICY_BALANCED, LayerSimResult, simulate_layer
+from .trace import TraceRecorder
 from .workload import LayerWorkload, ModelWorkload
 
 #: DDR bandwidth assumed when no device is given (the DE5-Net's DDR3).
@@ -43,6 +46,7 @@ _sim_cache: "OrderedDict[_SimKey, LayerSimResult]" = OrderedDict()
 _sim_cache_lock = threading.Lock()
 _sim_cache_hits = 0
 _sim_cache_misses = 0
+_sim_cache_evictions = 0
 
 
 def _sim_cache_get(key: _SimKey) -> Optional[LayerSimResult]:
@@ -58,20 +62,23 @@ def _sim_cache_get(key: _SimKey) -> Optional[LayerSimResult]:
 
 
 def _sim_cache_put(key: _SimKey, result: LayerSimResult) -> None:
+    global _sim_cache_evictions
     with _sim_cache_lock:
         _sim_cache[key] = result
         _sim_cache.move_to_end(key)
         while len(_sim_cache) > SIM_CACHE_CAPACITY:
             _sim_cache.popitem(last=False)
+            _sim_cache_evictions += 1
 
 
 def clear_sim_cache() -> None:
     """Drop all cached layer simulations (tests, memory-sensitive callers)."""
-    global _sim_cache_hits, _sim_cache_misses
+    global _sim_cache_hits, _sim_cache_misses, _sim_cache_evictions
     with _sim_cache_lock:
         _sim_cache.clear()
         _sim_cache_hits = 0
         _sim_cache_misses = 0
+        _sim_cache_evictions = 0
 
 
 def sim_cache_size() -> int:
@@ -79,10 +86,30 @@ def sim_cache_size() -> int:
         return len(_sim_cache)
 
 
-def sim_cache_stats() -> Tuple[int, int]:
-    """(hits, misses) since the last :func:`clear_sim_cache`."""
+def sim_cache_info() -> CacheStats:
+    """Full hit/miss/eviction accounting of the layer-sim result cache."""
     with _sim_cache_lock:
-        return _sim_cache_hits, _sim_cache_misses
+        return CacheStats(
+            hits=_sim_cache_hits,
+            misses=_sim_cache_misses,
+            evictions=_sim_cache_evictions,
+            size=len(_sim_cache),
+            capacity=SIM_CACHE_CAPACITY,
+            name="hw.sim",
+        )
+
+
+def sim_cache_stats() -> Tuple[int, int]:
+    """(hits, misses) since the last :func:`clear_sim_cache`.
+
+    .. deprecated:: use :func:`sim_cache_info`, which also reports
+       evictions, size and capacity as a :class:`CacheStats`.
+    """
+    info = sim_cache_info()
+    return info.hits, info.misses
+
+
+register_cache("hw.sim", sim_cache_info)
 
 
 def _simulate_layer_job(
@@ -214,14 +241,27 @@ class AcceleratorSimulator:
         return (layer, self.config, self.bandwidth_gbs, self.policy)
 
     def simulate(
-        self, workload: ModelWorkload, workers: Optional[int] = None
+        self,
+        workload: ModelWorkload,
+        workers: Optional[int] = None,
+        trace: Optional["TraceRecorder"] = None,
     ) -> ModelSimResult:
         """Run every layer and aggregate.
 
         ``workers`` fans uncached layers out over a process pool
         (``repro.dse.parallel.map_jobs``); results come back in layer order
         either way, and cached layers are never re-simulated.
+
+        ``trace`` captures per-task scheduler events into the given
+        :class:`~repro.hw.trace.TraceRecorder`. Traced runs are forced
+        serial and in-process and bypass the result cache in both
+        directions — trace events cannot come from a cache hit or cross a
+        process pool. The recorder's ``dropped`` count (ring-buffer
+        overflow) is published as the ``hw.trace.dropped`` gauge when a
+        telemetry context is active.
         """
+        if trace is not None:
+            return self._simulate_traced(workload, trace)
         layers = workload.layers
         results: List[Optional[LayerSimResult]] = [None] * len(layers)
         pending: List[int] = []
@@ -242,6 +282,33 @@ class AcceleratorSimulator:
                 results[index] = result
                 if self.use_cache:
                     _sim_cache_put(self._key(layers[index]), result)
+        return ModelSimResult(
+            model=workload.name,
+            config=self.config,
+            layers=tuple(results),
+            dense_ops=workload.dense_ops,
+        )
+
+    def _simulate_traced(
+        self, workload: ModelWorkload, trace: "TraceRecorder"
+    ) -> ModelSimResult:
+        results: List[LayerSimResult] = []
+        for layer in workload.layers:
+            memory = self._memory()
+            results.append(
+                simulate_layer(
+                    layer,
+                    self.config,
+                    memory,
+                    policy=self.policy,
+                    trace=trace,
+                    fast=self.fast,
+                )
+            )
+        telemetry = get_active()
+        if telemetry is not None:
+            telemetry.registry.gauge("hw.trace.dropped").set(trace.dropped)
+            telemetry.registry.gauge("hw.trace.recorded").set(trace.recorded)
         return ModelSimResult(
             model=workload.name,
             config=self.config,

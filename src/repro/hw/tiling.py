@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from ..core.specs import LayerSpec
+from ..telemetry.caches import CacheStats, register_cache
 from .config import AcceleratorConfig
 
 
@@ -186,3 +187,24 @@ def clear_window_plan_cache() -> None:
 def window_plan_cache_info():
     """``functools.lru_cache`` statistics of the window-plan cache."""
     return plan_layer_windows.cache_info()
+
+
+def window_plan_cache_stats() -> CacheStats:
+    """Telemetry view of the window-plan LRU.
+
+    ``functools.lru_cache`` does not expose an eviction counter, but
+    ``cache_clear`` resets hits/misses along with the entries, so
+    ``misses - currsize`` is exactly the number of evictions.
+    """
+    info = plan_layer_windows.cache_info()
+    return CacheStats(
+        hits=info.hits,
+        misses=info.misses,
+        evictions=info.misses - info.currsize,
+        size=info.currsize,
+        capacity=info.maxsize,
+        name="hw.windows",
+    )
+
+
+register_cache("hw.windows", window_plan_cache_stats)

@@ -14,12 +14,14 @@ Table 1 'measured' columns are produced for small models.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from .core.abm import ABMConvBatchResult, ABMConvResult, ConvGeometry, abm_conv2d, abm_conv2d_batch
+from .telemetry.context import get_active
 from .core.encoding import EncodedLayer, encode_layer
 from .nn.layers import (
     AvgPool2D,
@@ -213,8 +215,15 @@ class QuantizedPipeline:
         codes = self.input_fmt.quantize(np.asarray(image))
         fmt = self.input_fmt
         stats: List[LayerRunStats] = []
+        telemetry = get_active()
         for layer in self.network:
-            codes, fmt, layer_stats = self._run_layer(layer, codes, fmt)
+            scope = (
+                telemetry.span("layer", layer=layer.name)
+                if telemetry is not None
+                else nullcontext()
+            )
+            with scope:
+                codes, fmt, layer_stats = self._run_layer(layer, codes, fmt)
             if layer_stats is not None:
                 stats.append(layer_stats)
         return InferenceResult(output=fmt.dequantize(codes), layer_stats=stats)
@@ -284,8 +293,15 @@ class QuantizedPipeline:
         codes = self.input_fmt.quantize(batch)
         fmt = self.input_fmt
         stats: List[LayerRunStats] = []
+        telemetry = get_active()
         for layer in self.network:
-            codes, fmt, layer_stats = self._run_layer_batch(layer, codes, fmt)
+            scope = (
+                telemetry.span("layer", layer=layer.name, batch=b)
+                if telemetry is not None
+                else nullcontext()
+            )
+            with scope:
+                codes, fmt, layer_stats = self._run_layer_batch(layer, codes, fmt)
             if layer_stats is not None:
                 stats.append(layer_stats)
         outputs = fmt.dequantize(codes)

@@ -25,6 +25,7 @@ from .hw.config import AcceleratorConfig
 from .hw.device import STRATIX_V_GXA7, FPGADevice
 from .pipeline import InferenceResult, QuantizedPipeline
 from .system.host import DEFAULT_HOST_OPS_PER_SECOND, HostModel
+from .telemetry.context import Telemetry, activate
 
 
 @dataclass(frozen=True)
@@ -77,13 +78,19 @@ class SystemRuntime:
         host_ops_per_second: float = DEFAULT_HOST_OPS_PER_SECOND,
         sim_cache: bool = True,
         sim_workers: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
+        """``telemetry``, when given, makes every :meth:`infer` /
+        :meth:`infer_batch` call open an ``infer`` span (with nested
+        ``layer`` and ``kernel`` spans from the pipeline and compiled
+        plans) and record per-inference metrics into its registry."""
         self.pipeline = pipeline
         self.deployed = deployed
         self.device = device
         self.host_model = HostModel(ops_per_second=host_ops_per_second)
         self.sim_cache = sim_cache
         self.sim_workers = sim_workers
+        self.telemetry = telemetry
         self._simulation: Optional[ModelSimResult] = None
 
     @classmethod
@@ -120,7 +127,15 @@ class SystemRuntime:
 
     def infer(self, image: np.ndarray) -> RuntimeOutcome:
         """Run one image: ABM numerics + simulated per-layer timing."""
-        functional: InferenceResult = self.pipeline.run(image)
+        if self.telemetry is not None:
+            with activate(self.telemetry):
+                with self.telemetry.span(
+                    "infer", model=self.pipeline.network.name
+                ):
+                    functional: InferenceResult = self.pipeline.run(image)
+            self.telemetry.registry.counter("runtime/images").inc()
+        else:
+            functional = self.pipeline.run(image)
         simulation = self.simulation
         layer_cycles = {
             layer.layer: layer.cycles_per_image for layer in simulation.layers
@@ -146,7 +161,17 @@ class SystemRuntime:
         if len(images) == 0:
             raise ValueError("batch must contain at least one image")
         batch = np.stack([np.asarray(image) for image in images])
-        functional = self.pipeline.run_batch(batch)
+        if self.telemetry is not None:
+            with activate(self.telemetry):
+                with self.telemetry.span(
+                    "infer",
+                    model=self.pipeline.network.name,
+                    batch=len(images),
+                ):
+                    functional = self.pipeline.run_batch(batch)
+            self.telemetry.registry.counter("runtime/images").inc(len(images))
+        else:
+            functional = self.pipeline.run_batch(batch)
         simulation = self.simulation
         layer_cycles = {
             layer.layer: layer.cycles_per_image for layer in simulation.layers

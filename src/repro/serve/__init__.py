@@ -15,7 +15,7 @@ from .batcher import (
     poisson_arrivals,
     uniform_arrivals,
 )
-from .cache import CacheInfo, DeploymentCache, LRUCache, deployment_key
+from .cache import CacheInfo, CacheStats, DeploymentCache, LRUCache, deployment_key
 from .simulator import (
     BatchTrace,
     ServeReport,
@@ -29,6 +29,7 @@ __all__ = [
     "BatchPolicy",
     "BatchTrace",
     "CacheInfo",
+    "CacheStats",
     "DeploymentCache",
     "LRUCache",
     "ServeReport",

@@ -10,7 +10,6 @@ triple, the way an OpenCL host caches compiled kernels per device.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Callable, Hashable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..core.specs import LayerSpec
@@ -18,24 +17,14 @@ from ..deploy import DeployedModel, deploy
 from ..hw.config import AcceleratorConfig
 from ..hw.device import STRATIX_V_GXA7, FPGADevice
 from ..pipeline import QuantizedPipeline
+from ..telemetry.caches import CacheStats, register_cache_object
 
 T = TypeVar("T")
 
-
-@dataclass(frozen=True)
-class CacheInfo:
-    """Hit/miss/eviction accounting of an LRU cache."""
-
-    hits: int
-    misses: int
-    evictions: int
-    size: int
-    capacity: int
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+#: Deprecated alias: :class:`repro.telemetry.caches.CacheStats` is the
+#: uniform stats record now; the field order matches the historical
+#: ``CacheInfo(hits, misses, evictions, size, capacity)`` exactly.
+CacheInfo = CacheStats
 
 
 class LRUCache:
@@ -74,8 +63,8 @@ class LRUCache:
             self.evictions += 1
         return value
 
-    def info(self) -> CacheInfo:
-        return CacheInfo(
+    def info(self) -> CacheStats:
+        return CacheStats(
             hits=self.hits,
             misses=self.misses,
             evictions=self.evictions,
@@ -96,10 +85,31 @@ def deployment_key(
 
 
 class DeploymentCache:
-    """LRU cache mapping (model, config, device) to a deployed model."""
+    """LRU cache mapping (model, config, device) to a deployed model.
+
+    Each instance registers itself (via weak reference) as the
+    ``serve.deploy`` telemetry cache family; the most recently constructed
+    cache wins the name, and a collected cache drops out of snapshots.
+    """
 
     def __init__(self, capacity: int = 4) -> None:
         self._cache = LRUCache(capacity)
+        register_cache_object(
+            "serve.deploy",
+            self,
+            lambda cache: cache._stats(),
+        )
+
+    def _stats(self) -> CacheStats:
+        info = self._cache.info()
+        return CacheStats(
+            hits=info.hits,
+            misses=info.misses,
+            evictions=info.evictions,
+            size=info.size,
+            capacity=info.capacity,
+            name="serve.deploy",
+        )
 
     @property
     def hits(self) -> int:

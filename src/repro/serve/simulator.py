@@ -27,6 +27,7 @@ from ..hw.device import STRATIX_V_GXA7, FPGADevice
 from ..pipeline import QuantizedPipeline
 from ..runtime import SystemRuntime
 from ..system.host import DEFAULT_HOST_OPS_PER_SECOND
+from ..telemetry.context import Telemetry, activate
 from .batcher import Batch, BatchPolicy, ServeRequest, form_batches
 from .cache import DeploymentCache
 from .stats import ServeResponse, ServeStats
@@ -98,8 +99,17 @@ class ServingSimulator:
     """Serve a request stream across a pool of simulated accelerators."""
 
     def __init__(
-        self, workers: Sequence[SystemRuntime], policy: BatchPolicy
+        self,
+        workers: Sequence[SystemRuntime],
+        policy: BatchPolicy,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
+        """``telemetry``, when given, is activated around every batch
+        execution — each batch produces a ``request`` span (request ids +
+        virtual close/start/finish times as attributes) wrapping a
+        ``batch`` span, under which the pipeline's ``layer`` and the
+        compiled plans' ``kernel`` spans nest — and the run's ServeStats
+        figures are recorded into its metric registry."""
         if not workers:
             raise ValueError("need at least one worker runtime")
         names = {worker.pipeline.network.name for worker in workers}
@@ -109,6 +119,7 @@ class ServingSimulator:
             )
         self.workers = list(workers)
         self.policy = policy
+        self.telemetry = telemetry
 
     def run(self, requests: Sequence[ServeRequest]) -> ServeReport:
         """Simulate the stream; returns bit-exact outputs plus telemetry."""
@@ -144,9 +155,42 @@ class ServingSimulator:
         stats = ServeStats(
             responses, dense_ops_per_image=self.workers[0].simulation.dense_ops
         )
+        if self.telemetry is not None:
+            self._record_stats(responses, traces, stats)
         return ServeReport(
             responses=tuple(responses), batches=tuple(traces), stats=stats
         )
+
+    def _record_stats(
+        self,
+        responses: Sequence[ServeResponse],
+        traces: Sequence[BatchTrace],
+        stats: ServeStats,
+    ) -> None:
+        """Mirror the run's ServeStats into the telemetry registry.
+
+        Latencies land in a sample-retaining histogram, so the registry's
+        nearest-rank percentiles are *identical* to
+        :meth:`ServeStats.latency_percentile_s` (a differential test pins
+        this).
+        """
+        registry = self.telemetry.registry
+        registry.counter("serve/requests").inc(stats.count)
+        registry.counter("serve/batches").inc(stats.batch_count)
+        latency = registry.histogram("serve/latency_s")
+        for value in stats.latencies_s():
+            latency.observe(float(value))
+        queue_wait = registry.histogram("serve/queue_wait_s")
+        for response in responses:
+            queue_wait.observe(response.start_s - response.arrival_s)
+        batch_size = registry.histogram(
+            "serve/batch_size", buckets=(1, 2, 4, 8, 16, 32, 64)
+        )
+        for trace in traces:
+            batch_size.observe(trace.size)
+        registry.gauge("serve/makespan_s").set(stats.makespan_s)
+        registry.gauge("serve/requests_per_second").set(stats.requests_per_second)
+        registry.gauge("serve/max_queue_depth").set(stats.max_queue_depth)
 
     def _serve_batch(
         self,
@@ -157,7 +201,23 @@ class ServingSimulator:
         start_s: float,
         finish_s: float,
     ) -> List[ServeResponse]:
-        outcomes = worker.infer_batch([request.image for request in batch.requests])
+        images = [request.image for request in batch.requests]
+        if self.telemetry is not None:
+            with activate(self.telemetry):
+                with self.telemetry.span(
+                    "request",
+                    batch_id=batch_id,
+                    requests=[r.request_id for r in batch.requests],
+                    close_s=batch.close_s,
+                    start_s=start_s,
+                    finish_s=finish_s,
+                ):
+                    with self.telemetry.span(
+                        "batch", worker=worker_id, size=batch.size
+                    ):
+                        outcomes = worker.infer_batch(images)
+        else:
+            outcomes = worker.infer_batch(images)
         return [
             ServeResponse(
                 request_id=request.request_id,

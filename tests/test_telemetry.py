@@ -1,0 +1,339 @@
+"""Unit tests of the telemetry substrate: metrics, spans, caches, exporters."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    CacheStats,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    VirtualClock,
+    activate,
+    cache_stats,
+    export_jsonl,
+    get_active,
+    metric_key,
+    parse_jsonl,
+    prometheus_text,
+    register_cache,
+    register_cache_object,
+    registered_caches,
+    unregister_cache,
+    validate_snapshot,
+)
+
+
+class TestMetricKey:
+    def test_bare_name(self):
+        assert metric_key("serve/requests", {}) == "serve/requests"
+
+    def test_labels_sorted(self):
+        key = metric_key("x", {"b": "2", "a": "1"})
+        assert key == 'x{a="1",b="2"}'
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("n").inc(-1)
+
+    def test_counter_identity_per_label_set(self):
+        registry = MetricsRegistry()
+        registry.counter("n", model="a").inc()
+        registry.counter("n", model="b").inc(2)
+        snap = registry.snapshot()
+        assert snap["counters"] == {'n{model="a"}': 1, 'n{model="b"}': 2}
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        gauge.dec(3)
+        gauge.inc()
+        assert gauge.value == 8
+
+
+class TestHistogram:
+    def test_empty_percentile_raises(self):
+        histogram = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            histogram.percentile(50)
+
+    def test_empty_snapshot_percentiles_none(self):
+        data = MetricsRegistry().histogram("h").snapshot()
+        assert data["count"] == 0
+        assert data["p50"] is None and data["p95"] is None and data["p99"] is None
+        assert data["min"] is None and data["mean"] is None
+
+    def test_single_sample_is_every_percentile(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(0.25)
+        for p in (1, 50, 95, 99, 100):
+            assert histogram.percentile(p) == 0.25
+
+    def test_all_equal_samples(self):
+        histogram = MetricsRegistry().histogram("h")
+        for _ in range(17):
+            histogram.observe(2.0)
+        assert histogram.percentile(50) == 2.0
+        assert histogram.percentile(99) == 2.0
+        assert histogram.min == histogram.max == 2.0
+
+    def test_nearest_rank_hand_pinned(self):
+        # Ten samples 1..10: nearest-rank p95 -> ceil(9.5)-1 = index 9 -> 10,
+        # p50 -> ceil(5)-1 = index 4 -> 5. Exactly ServeStats' arithmetic.
+        histogram = MetricsRegistry().histogram("h", buckets=(100.0,))
+        for v in range(1, 11):
+            histogram.observe(float(v))
+        assert histogram.percentile(50) == 5.0
+        assert histogram.percentile(95) == 10.0
+        assert histogram.percentile(90) == 9.0
+
+    def test_bucket_counts_and_overflow(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 50.0):
+            histogram.observe(v)
+        assert histogram.bucket_counts == [2, 1]  # bounds are inclusive
+        assert histogram.overflow == 1
+        assert histogram.count == 4
+
+    def test_bad_bucket_bounds_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("a", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("b", buckets=(2.0, 1.0))
+
+    def test_max_samples_truncation_flagged(self):
+        histogram = MetricsRegistry().histogram("h", max_samples=2)
+        for v in (1.0, 2.0, 3.0):
+            histogram.observe(v)
+        assert histogram.truncated
+        assert histogram.count == 3  # aggregates still exact
+        assert histogram.snapshot()["truncated"] is True
+
+
+class TestRegistryModes:
+    def test_disabled_registry_hands_out_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("n").inc(5)
+        registry.histogram("h").observe(1.0)
+        registry.gauge("g").set(3)
+        snap = registry.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc()
+        registry.clear()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestSpans:
+    def test_virtual_clock_nesting_and_durations(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock.now)
+        with tracer.span("outer", kind="test"):
+            clock.advance(1.0)
+            with tracer.span("inner"):
+                clock.advance(0.5)
+        assert len(tracer.roots) == 1
+        outer = tracer.roots[0]
+        assert outer.name == "outer" and outer.duration_s == 1.5
+        assert outer.children[0].name == "inner"
+        assert outer.children[0].duration_s == 0.5
+        assert outer.attrs == {"kind": "test"}
+
+    def test_record_span_nests_with_explicit_times(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock.now)
+        with tracer.span("outer"):
+            tracer.record_span("virtual", 10.0, 12.5, source="sim")
+        virtual = tracer.roots[0].children[0]
+        assert virtual.start_s == 10.0 and virtual.end_s == 12.5
+        assert virtual.duration_s == 2.5
+
+    def test_record_span_rejects_negative_interval(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            tracer.record_span("bad", 2.0, 1.0)
+
+    def test_threaded_children_adopt_parent(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock.now)
+        with tracer.span("parent") as parent:
+            def work(index: int) -> None:
+                with tracer.attach(parent):
+                    tracer.record_span(f"child{index}", index, index + 1)
+
+            threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        names = sorted(child.name for child in tracer.roots[0].children)
+        assert names == ["child0", "child1", "child2", "child3"]
+
+    def test_thread_stacks_are_independent(self):
+        tracer = Tracer()
+        seen = []
+
+        def work():
+            # A fresh thread has no inherited current span.
+            seen.append(tracer.current)
+            with tracer.span("threaded"):
+                pass
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        assert seen == [None]
+        assert sorted(root.name for root in tracer.roots) == ["main", "threaded"]
+
+    def test_totals_and_find(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock.now)
+        for _ in range(3):
+            with tracer.span("work"):
+                clock.advance(2.0)
+        totals = tracer.totals()
+        assert totals["work"] == {"count": 3, "total_s": 6.0}
+        assert tracer.roots[0].find("work") is tracer.roots[0]
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x"):
+            pass
+        assert tracer.roots == []
+
+
+class TestActivation:
+    def test_activate_scopes_and_restores(self):
+        assert get_active() is None
+        telemetry = Telemetry()
+        with activate(telemetry) as active:
+            assert active is telemetry and get_active() is telemetry
+            other = Telemetry()
+            with activate(other):
+                assert get_active() is other
+            assert get_active() is telemetry
+        assert get_active() is None
+
+    def test_disabled_instance_deactivates(self):
+        with activate(Telemetry(enabled=False)) as active:
+            assert active is None and get_active() is None
+
+
+class TestCacheRegistry:
+    def test_register_and_unregister(self):
+        stats = CacheStats(hits=3, misses=1, evictions=0, size=2, capacity=8)
+        register_cache("test.family", lambda: stats)
+        try:
+            assert "test.family" in registered_caches()
+            assert cache_stats()["test.family"] is stats
+        finally:
+            unregister_cache("test.family")
+        assert "test.family" not in registered_caches()
+
+    def test_weakref_registration_drops_after_gc(self):
+        class Owner:
+            pass
+
+        owner = Owner()
+        register_cache_object(
+            "test.weak",
+            owner,
+            lambda obj: CacheStats(hits=1, misses=0, evictions=0, size=0),
+        )
+        try:
+            assert "test.weak" in cache_stats()
+            del owner
+            import gc
+
+            gc.collect()
+            assert "test.weak" not in cache_stats()
+        finally:
+            unregister_cache("test.weak")
+
+    def test_cache_stats_derived_fields(self):
+        stats = CacheStats(hits=3, misses=1, evictions=2, size=4, capacity=8)
+        assert stats.lookups == 4
+        assert stats.hit_rate == 0.75
+        assert CacheStats(hits=0, misses=0, evictions=0, size=0).hit_rate == 0.0
+        data = stats.as_dict()
+        assert data["hits"] == 3 and data["hit_rate"] == 0.75
+
+
+def _sample_snapshot():
+    clock = VirtualClock()
+    telemetry = Telemetry(clock=clock.now)
+    with activate(telemetry):
+        registry = telemetry.registry
+        registry.counter("serve/requests", model="tiny").inc(8)
+        registry.gauge("serve/depth").set(3)
+        histogram = registry.histogram("serve/latency_s")
+        for value in (1e-4, 2e-3, 2e-3, 0.7):
+            histogram.observe(value)
+        with telemetry.span("request", batch_id=0):
+            clock.advance(1e-3)
+            with telemetry.span("batch", size=2):
+                clock.advance(2e-3)
+        return telemetry.snapshot()
+
+
+class TestExporters:
+    def test_jsonl_round_trip_is_exact(self):
+        snapshot = _sample_snapshot()
+        assert parse_jsonl(export_jsonl(snapshot)) == snapshot
+
+    def test_parse_rejects_bad_json(self):
+        with pytest.raises(ValueError, match="invalid JSON"):
+            parse_jsonl('{"kind": "meta"}\nnot json\n')
+
+    def test_parse_rejects_unknown_kind(self):
+        line = json.dumps({"kind": "mystery"})
+        with pytest.raises(ValueError, match="unknown record kind"):
+            parse_jsonl(line)
+
+    def test_prometheus_text_shape(self):
+        text = prometheus_text(_sample_snapshot())
+        assert '# TYPE repro_serve_requests counter' in text
+        assert 'repro_serve_requests{model="tiny"} 8' in text
+        assert 'le="+Inf"' in text
+        assert "repro_serve_latency_s_count 4" in text
+        assert 'repro_span_request_total_seconds' in text
+
+    def test_validate_accepts_good_snapshot(self):
+        assert validate_snapshot(_sample_snapshot()) == []
+
+    def test_validate_flags_inconsistent_histogram(self):
+        snapshot = _sample_snapshot()
+        name = next(iter(snapshot["histograms"]))
+        snapshot["histograms"][name]["count"] += 1
+        problems = validate_snapshot(snapshot)
+        assert any("bucket counts" in p for p in problems)
+
+    def test_validate_flags_bad_schema_and_span(self):
+        assert validate_snapshot({"schema": "nope"})  # missing sections
+        snapshot = _sample_snapshot()
+        snapshot["spans"][0]["end_s"] = snapshot["spans"][0]["start_s"] - 1
+        assert any("ends before" in p for p in validate_snapshot(snapshot))
+
+    def test_validate_flags_negative_counter(self):
+        snapshot = _sample_snapshot()
+        snapshot["counters"]["bad"] = -1
+        assert any("bad" in p for p in validate_snapshot(snapshot))

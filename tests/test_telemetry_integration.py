@@ -1,0 +1,309 @@
+"""Telemetry wired through serving, runtime, deploy and the CLI.
+
+The acceptance story of the observability subsystem: one simulated
+serving run produces a nested span tree (request -> batch -> layer ->
+kernel), a snapshot carrying hit/miss counters for every registered
+cache family, and histogram percentiles *identical* to the existing
+``ServeStats`` arithmetic. Also covers the deprecated cache-stat shims
+and the ``metrics`` / ``--metrics-out`` / ``--trace`` CLI surfaces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.deploy import deploy
+from repro.hw import STRATIX_V_GXA7, TraceRecorder, sim_cache_info
+from repro.hw.accelerator import clear_sim_cache, sim_cache_stats
+from repro.nn.models import (
+    Architecture,
+    ConvDef,
+    FCDef,
+    FlattenDef,
+    PoolDef,
+    ReLUDef,
+    SoftmaxDef,
+)
+from repro.pipeline import QuantizedPipeline
+from repro.prune import uniform_schedule
+from repro.runtime import SystemRuntime
+from repro.serve import (
+    BatchPolicy,
+    CacheStats,
+    DeploymentCache,
+    ServingSimulator,
+    build_worker_pool,
+    make_requests,
+)
+from repro.serve.cache import CacheInfo
+from repro.telemetry import Telemetry, activate, parse_jsonl, validate_snapshot
+
+# The cache families that register themselves at import time; serve.deploy
+# additionally appears whenever a DeploymentCache instance is alive.
+GLOBAL_CACHE_FAMILIES = {
+    "core.plan",
+    "core.encode",
+    "hw.sim",
+    "hw.windows",
+    "dse.compiled",
+    "dse.buffers",
+}
+
+
+def _tiny_serving_architecture() -> Architecture:
+    """Module-scope copy of the conftest tiny CNN (fixture scopes differ)."""
+    return Architecture(
+        name="tiny",
+        input_channels=3,
+        input_rows=16,
+        input_cols=16,
+        defs=[
+            ConvDef("conv1", 8, kernel=3, padding=1),
+            ReLUDef("relu1"),
+            PoolDef("pool1", kernel=2, stride=2),
+            ConvDef("conv2", 12, kernel=3, padding=1),
+            ReLUDef("relu2"),
+            PoolDef("pool2", kernel=2, stride=2),
+            FlattenDef("flatten"),
+            FCDef("fc3", 20),
+            ReLUDef("relu3"),
+            FCDef("fc4", 10, scale_output=False),
+            SoftmaxDef("prob"),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def served_model():
+    """A quantized tiny model plus its accelerated-layer specs."""
+    tiny_architecture = _tiny_serving_architecture()
+    network = tiny_architecture.build(seed=10)
+    rng = np.random.default_rng(99)
+    image = rng.normal(size=network.input_shape.as_tuple())
+    names = [layer.name for layer in network.accelerated_layers()]
+    pipeline = QuantizedPipeline(network)
+    pipeline.prune(uniform_schedule(names, 0.4).densities)
+    pipeline.calibrate(image)
+    pipeline.quantize()
+    return pipeline, tiny_architecture.accelerated_specs()
+
+
+@pytest.fixture(scope="module")
+def serve_run(served_model):
+    """One telemetered serving run: (report, telemetry, snapshot)."""
+    pipeline, specs = served_model
+    cache = DeploymentCache(capacity=2)
+    pool = build_worker_pool(pipeline, specs, workers=2, cache=cache)
+    rng = np.random.default_rng(5)
+    shape = pipeline.network.input_shape.as_tuple()
+    images = [rng.normal(size=shape) for _ in range(8)]
+    requests = make_requests(images, list(np.linspace(0.0, 1e-3, 8)))
+    telemetry = Telemetry()
+    report = ServingSimulator(
+        pool, BatchPolicy(max_batch=4, max_wait_s=1.0), telemetry=telemetry
+    ).run(requests)
+    # `cache` must stay alive until the snapshot (weakref registration).
+    snapshot = telemetry.snapshot()
+    del cache
+    return report, telemetry, snapshot
+
+
+class TestServeSpanTree:
+    def test_request_batch_layer_kernel_nesting(self, serve_run):
+        report, telemetry, _ = serve_run
+        roots = telemetry.tracer.roots
+        assert [root.name for root in roots] == ["request"] * len(report.batches)
+        for root in roots:
+            (batch,) = root.children
+            assert batch.name == "batch"
+            assert batch.children, "batch span has no layer children"
+            assert {child.name for child in batch.children} == {"layer"}
+            kernels = [
+                kernel
+                for layer in batch.children
+                for kernel in layer.children
+                if kernel.name == "kernel"
+            ]
+            # conv1, conv2, fc3, fc4 each run a compiled kernel per batch.
+            assert len(kernels) == 4
+
+    def test_request_span_attrs_mirror_batch_trace(self, serve_run):
+        report, telemetry, _ = serve_run
+        by_id = {root.attrs["batch_id"]: root for root in telemetry.tracer.roots}
+        for trace in report.batches:
+            attrs = by_id[trace.batch_id].attrs
+            assert attrs["close_s"] == trace.close_s
+            assert attrs["start_s"] == trace.start_s
+            assert attrs["finish_s"] == trace.finish_s
+            assert len(attrs["requests"]) == trace.size
+
+    def test_every_request_id_appears_exactly_once(self, serve_run):
+        report, telemetry, _ = serve_run
+        ids = [
+            request_id
+            for root in telemetry.tracer.roots
+            for request_id in root.attrs["requests"]
+        ]
+        assert sorted(ids) == sorted(
+            response.request_id for response in report.responses
+        )
+        assert len(ids) == len(set(ids)) == len(report.responses)
+
+
+class TestServeSnapshot:
+    def test_all_cache_families_present(self, serve_run):
+        _, _, snapshot = serve_run
+        families = set(snapshot["caches"])
+        assert GLOBAL_CACHE_FAMILIES | {"serve.deploy"} <= families
+        for name, data in snapshot["caches"].items():
+            assert data["hits"] >= 0 and data["misses"] >= 0, name
+
+    def test_serve_counters_and_gauges(self, serve_run):
+        report, _, snapshot = serve_run
+        assert snapshot["counters"]["serve/requests"] == report.stats.count
+        assert snapshot["counters"]["serve/batches"] == report.stats.batch_count
+        assert snapshot["gauges"]["serve/makespan_s"] == report.stats.makespan_s
+        assert (
+            snapshot["gauges"]["serve/max_queue_depth"]
+            == report.stats.max_queue_depth
+        )
+
+    def test_differential_percentiles_vs_servestats(self, serve_run):
+        """The telemetry histogram and ServeStats must agree *exactly*."""
+        report, telemetry, snapshot = serve_run
+        histogram = telemetry.registry.histogram("serve/latency_s")
+        for percentile in (50, 95, 99, 100):
+            assert histogram.percentile(percentile) == report.stats.latency_percentile_s(
+                percentile
+            )
+        data = snapshot["histograms"]["serve/latency_s"]
+        assert data["count"] == report.stats.count
+        assert data["p50"] == report.stats.p50_latency_s
+        assert data["p95"] == report.stats.p95_latency_s
+        assert data["max"] == report.stats.max_latency_s
+        assert data["mean"] == pytest.approx(report.stats.mean_latency_s)
+
+    def test_batch_size_histogram_matches_stats(self, serve_run):
+        report, telemetry, _ = serve_run
+        histogram = telemetry.registry.histogram(
+            "serve/batch_size", buckets=(1, 2, 4, 8, 16, 32, 64)
+        )
+        assert histogram.count == report.stats.batch_count
+        expected = sum(
+            size * count
+            for size, count in report.stats.batch_size_histogram().items()
+        )
+        assert histogram.sum == expected
+
+    def test_snapshot_validates_and_round_trips(self, serve_run):
+        _, _, snapshot = serve_run
+        assert validate_snapshot(snapshot) == []
+        from repro.telemetry import export_jsonl
+
+        assert parse_jsonl(export_jsonl(snapshot)) == snapshot
+
+
+class TestRuntimeAndDeploySpans:
+    def test_system_runtime_owns_infer_span(self, served_model):
+        pipeline, specs = served_model
+        deployed = deploy(pipeline, specs)
+        telemetry = Telemetry()
+        runtime = SystemRuntime(pipeline, deployed, telemetry=telemetry)
+        image = np.random.default_rng(3).normal(
+            size=pipeline.network.input_shape.as_tuple()
+        )
+        runtime.infer(image)
+        (root,) = telemetry.tracer.roots
+        assert root.name == "infer"
+        assert {child.name for child in root.children} == {"layer"}
+        assert telemetry.registry.counter("runtime/images").value == 1
+
+    def test_deployed_simulate_span_and_trace_gauges(self, served_model):
+        pipeline, specs = served_model
+        deployed = deploy(pipeline, specs)
+        telemetry = Telemetry()
+        recorder = TraceRecorder(capacity=16)
+        clear_sim_cache()
+        with activate(telemetry):
+            deployed.simulate(trace=recorder)
+        (root,) = telemetry.tracer.roots
+        assert root.name == "simulate"
+        assert root.attrs["model"] == "tiny"
+        gauges = telemetry.registry.snapshot()["gauges"]
+        assert gauges["hw.trace.recorded"] == recorder.recorded
+        assert gauges["hw.trace.dropped"] == recorder.dropped
+        assert recorder.recorded == len(recorder.events) + recorder.dropped
+        assert recorder.dropped > 0  # capacity 16 is far too small
+
+
+class TestDeprecatedShims:
+    def test_sim_cache_stats_tuple_matches_info(self, served_model):
+        pipeline, specs = served_model
+        clear_sim_cache()
+        deployed = deploy(pipeline, specs)
+        deployed.simulate()  # miss
+        deployed.simulate()  # hit
+        info = sim_cache_info()
+        assert info.name == "hw.sim"
+        assert sim_cache_stats() == (info.hits, info.misses)
+        assert info.hits >= 1 and info.misses >= 1
+
+    def test_cache_info_alias(self):
+        assert CacheInfo is CacheStats
+
+
+class TestCLI:
+    def test_metrics_demo_summary(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "demo/requests" in out
+        assert "p95" in out
+
+    def test_metrics_check_demo(self, capsys):
+        assert main(["metrics", "--check"]) == 0
+        assert "snapshot ok" in capsys.readouterr().out
+
+    def test_metrics_formats(self, capsys):
+        assert main(["metrics", "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE" in out and 'le="+Inf"' in out
+        assert main(["metrics", "--format", "jsonl"]) == 0
+        snapshot = parse_jsonl(capsys.readouterr().out)
+        assert validate_snapshot(snapshot) == []
+
+    def test_metrics_check_flags_corrupt_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        assert main(["metrics", "--format", "jsonl"]) == 0
+        lines = capsys.readouterr().out
+        snapshot = parse_jsonl(lines)
+        snapshot["counters"]["demo/requests"] = -5
+        from repro.telemetry import write_jsonl
+
+        write_jsonl(snapshot, bad)
+        assert main(["metrics", "--from", str(bad), "--check"]) == 1
+
+    def test_serve_sim_metrics_out(self, tmp_path, capsys):
+        out_path = tmp_path / "serve_metrics.jsonl"
+        assert main([
+            "serve-sim", "--requests", "6", "--workers", "2",
+            "--max-batch", "2", "--rate", "100000",
+            "--metrics-out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert "metrics written" in out
+        snapshot = parse_jsonl(out_path.read_text())
+        assert validate_snapshot(snapshot) == []
+        assert snapshot["counters"]["serve/requests"] == 6
+        assert any(span["name"] == "request" for span in snapshot["spans"])
+        # And the exported file round-trips through the metrics subcommand.
+        assert main(["metrics", "--from", str(out_path), "--check"]) == 0
+
+    def test_simulate_trace_reports_drops(self, capsys):
+        assert main([
+            "simulate", "--model", "alexnet", "--trace",
+            "--trace-capacity", "64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "event(s) recorded" in out
+        assert "dropped" in out
