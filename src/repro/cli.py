@@ -161,14 +161,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     from .nn.models import get_architecture
     from .pipeline import QuantizedPipeline
     from .prune import uniform_schedule
-    from .serve import (
-        BatchPolicy,
-        DeploymentCache,
-        ServingSimulator,
-        build_worker_pool,
-        make_requests,
-        poisson_arrivals,
-    )
+    from .serve import BatchPolicy, DeploymentCache, build_worker_pool
     from .workloads.images import natural_image
 
     # Validate the serving shape before the (slow) pipeline build.
@@ -187,6 +180,12 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     if args.rate <= 0:
         print("serve-sim: --rate must be positive")
         return 2
+    if not 0 <= args.best_effort < 1:
+        print("serve-sim: --best-effort must be in [0, 1)")
+        return 2
+    if args.autoscale_max and args.autoscale_max < args.workers:
+        print("serve-sim: --autoscale-max must be >= --workers")
+        return 2
 
     architecture = get_architecture(args.model)
     network = architecture.build(seed=args.seed)
@@ -198,16 +197,15 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     pipeline.calibrate(natural_image(shape, rng))
     pipeline.quantize()
     cache = DeploymentCache()
+    # The events engine only needs one runtime (its timing profile); the
+    # reference engine needs the full pool for the per-batch numerics.
     pool = build_worker_pool(
         pipeline,
         architecture.accelerated_specs(),
-        args.workers,
+        args.workers if args.engine == "threads" else 1,
         device=get_device(args.device),
         cache=cache,
     )
-    images = [natural_image(shape, rng) for _ in range(args.requests)]
-    arrivals = poisson_arrivals(args.requests, args.rate, rng)
-    requests = make_requests(images, arrivals)
     policy = BatchPolicy(
         max_batch=args.max_batch, max_wait_s=args.max_wait_ms * 1e-3
     )
@@ -216,17 +214,79 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         from .telemetry import Telemetry
 
         telemetry = Telemetry()
-    report = ServingSimulator(pool, policy, telemetry=telemetry).run(requests)
+
     print(
         f"serving simulation — {args.model} on {args.workers} simulated "
-        f"accelerator instance(s)"
+        f"accelerator instance(s) ({args.engine} engine)"
     )
     print(
         f"policy:          max batch {policy.max_batch}, "
         f"max wait {args.max_wait_ms:g} ms, "
-        f"offered load {args.rate:g} req/s (Poisson)"
+        f"offered load {args.rate:g} req/s ({args.trace})"
     )
-    print(report.stats.render())
+    if args.engine == "threads":
+        from .serve import ServingSimulator, make_requests, make_trace
+
+        trace = make_trace(args.trace, args.requests, args.rate, seed=args.seed)
+        images = [natural_image(shape, rng) for _ in range(args.requests)]
+        requests = make_requests(images, trace.arrivals.tolist())
+        report = ServingSimulator(pool, policy, telemetry=telemetry).run(
+            requests
+        )
+        stats = report.stats
+    else:
+        from .serve import (
+            AutoscalePolicy,
+            EventDrivenSimulator,
+            ServiceProfile,
+            SLOClass,
+            make_trace,
+        )
+
+        slo_mix = {"latency-sensitive": 1.0}
+        classes = (SLOClass("latency-sensitive", priority=0),)
+        if args.best_effort > 0:
+            slo_mix = {
+                "latency-sensitive": 1.0 - args.best_effort,
+                "best-effort": args.best_effort,
+            }
+            classes = (
+                SLOClass("latency-sensitive", priority=0),
+                SLOClass(
+                    "best-effort", priority=1, queue_limit=args.queue_limit
+                ),
+            )
+        autoscale = None
+        if args.autoscale_max and args.autoscale_max > args.workers:
+            autoscale = AutoscalePolicy(
+                min_instances=args.workers,
+                max_instances=args.autoscale_max,
+                check_interval_s=args.autoscale_interval_ms * 1e-3,
+            )
+        trace = make_trace(
+            args.trace, args.requests, args.rate, seed=args.seed,
+            slo_mix=slo_mix,
+        )
+        engine = EventDrivenSimulator(
+            ServiceProfile.from_runtime(pool[0]),
+            policy,
+            classes=classes,
+            instances=args.workers,
+            continuous=args.continuous,
+            autoscale=autoscale,
+            telemetry=telemetry,
+        )
+        report = engine.run_trace(trace)
+        stats = report.stats
+        if args.continuous:
+            print("batching:        continuous (in-flight admission)")
+        if report.scale_events:
+            peak = report.peak_instances
+            print(
+                f"autoscaling:     {len(report.scale_events)} decision(s), "
+                f"peak {peak} instance(s), final {report.final_instances}"
+            )
+    print(stats.render())
     info = cache.info()
     print(
         f"model cache:     {info.size} deployment(s), "
@@ -470,14 +530,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="small zoo members run the full functional pipeline",
     )
     p_srv.add_argument("--device", default="Stratix-V GXA7")
+    p_srv.add_argument("--engine", choices=("events", "threads"),
+                       default="events",
+                       help="events = virtual-clock event loop (timing only, "
+                            "fleet scale); threads = reference simulator "
+                            "with full numerics")
     p_srv.add_argument("--workers", type=int, default=2,
                        help="simulated accelerator instances")
     p_srv.add_argument("--requests", type=int, default=32)
     p_srv.add_argument("--rate", type=float, default=50_000.0,
-                       help="offered load in requests/s (Poisson)")
+                       help="offered load in requests/s")
+    p_srv.add_argument("--trace", choices=("poisson", "uniform", "diurnal",
+                                           "burst"),
+                       default="poisson", help="arrival process")
     p_srv.add_argument("--max-batch", type=int, default=8)
     p_srv.add_argument("--max-wait-ms", type=float, default=0.2,
                        help="dynamic batcher deadline")
+    p_srv.add_argument("--continuous", action="store_true",
+                       help="continuous batching: admit requests into "
+                            "in-flight batches (events engine only)")
+    p_srv.add_argument("--best-effort", type=float, default=0.0,
+                       help="fraction of requests in a lower-priority "
+                            "best-effort SLO class (events engine only)")
+    p_srv.add_argument("--queue-limit", type=int, default=None,
+                       help="admission-control queue bound for the "
+                            "best-effort class")
+    p_srv.add_argument("--autoscale-max", type=int, default=None,
+                       help="enable autoscaling up to this many instances "
+                            "(events engine only)")
+    p_srv.add_argument("--autoscale-interval-ms", type=float, default=1.0,
+                       help="autoscaler check interval, virtual ms")
     p_srv.add_argument("--density", type=float, default=0.4,
                        help="uniform pruning density before quantization")
     p_srv.add_argument("--metrics-out", default=None,

@@ -201,6 +201,10 @@ class SystemRuntime:
 
         so T(1) is the sequential per-image time and the marginal cost of
         an extra batched image is the pipelined per-image time.
+
+        :meth:`repro.serve.fleet.ServiceProfile.batch_seconds` copies this
+        expression verbatim — keep the two in sync, the event-driven
+        serving engine's differential pinning depends on float equality.
         """
         if batch_size < 1:
             raise ValueError("batch size must be >= 1")

@@ -1,9 +1,18 @@
-"""Batched multi-accelerator serving runtime (simulated).
+"""Batched multi-accelerator serving (simulated, virtual-clock).
 
-Grows the single-image :class:`repro.runtime.SystemRuntime` into a serving
-system: a request queue with a dynamic batcher, a pool of N simulated
-accelerator instances, an LRU cache of deployed models, and serving
-telemetry. See ``docs/serving.md``.
+Two engines share one timing model:
+
+- :class:`ServingSimulator` — the reference implementation: offline
+  batch formation (:func:`form_batches`) over real deployed pipelines,
+  with full numerics on every request.
+- :class:`EventDrivenSimulator` — the fleet-scale engine: a
+  priority-queue event loop over :class:`ServiceProfile` timing records
+  (:mod:`repro.serve.fleet`) that pushes millions of simulated requests
+  through in seconds, with continuous batching, SLO classes, admission
+  control and autoscaling. Differentially pinned against the reference.
+
+Load comes from :mod:`repro.serve.loadgen` traces (Poisson, diurnal,
+burst). See ``docs/serving.md``.
 """
 
 from .batcher import (
@@ -15,32 +24,81 @@ from .batcher import (
     poisson_arrivals,
     uniform_arrivals,
 )
-from .cache import CacheInfo, CacheStats, DeploymentCache, LRUCache, deployment_key
+from .cache import CacheStats, DeploymentCache, LRUCache, deployment_key
+from .events import (
+    DEFAULT_SLO,
+    EventBatch,
+    EventDrivenSimulator,
+    EventOutcome,
+    EventReport,
+    EventRequest,
+    SLOClass,
+)
+from .fleet import AutoscalePolicy, Fleet, Instance, ScaleEvent, ServiceProfile
+from .loadgen import (
+    LoadTrace,
+    TRACE_KINDS,
+    burst_trace,
+    diurnal_trace,
+    make_trace,
+    poisson_trace,
+    uniform_trace,
+)
 from .simulator import (
     BatchTrace,
     ServeReport,
     ServingSimulator,
     build_worker_pool,
 )
-from .stats import ServeResponse, ServeStats
+from .stats import Rejection, ServeResponse, ServeStats
 
 __all__ = [
+    "AutoscalePolicy",
     "Batch",
     "BatchPolicy",
     "BatchTrace",
     "CacheInfo",
     "CacheStats",
+    "DEFAULT_SLO",
     "DeploymentCache",
+    "EventBatch",
+    "EventDrivenSimulator",
+    "EventOutcome",
+    "EventReport",
+    "EventRequest",
+    "Fleet",
+    "Instance",
     "LRUCache",
+    "LoadTrace",
+    "Rejection",
+    "SLOClass",
+    "ScaleEvent",
     "ServeReport",
     "ServeRequest",
     "ServeResponse",
     "ServeStats",
+    "ServiceProfile",
     "ServingSimulator",
+    "TRACE_KINDS",
     "build_worker_pool",
+    "burst_trace",
     "deployment_key",
+    "diurnal_trace",
     "form_batches",
     "make_requests",
+    "make_trace",
     "poisson_arrivals",
+    "poisson_trace",
     "uniform_arrivals",
+    "uniform_trace",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecated: kept importable from the package for backwards
+    # compatibility; the warning fires in repro.serve.cache.__getattr__.
+    if name == "CacheInfo":
+        from . import cache
+
+        return cache.CacheInfo
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -21,10 +21,22 @@ from ..telemetry.caches import CacheStats, register_cache_object
 
 T = TypeVar("T")
 
-#: Deprecated alias: :class:`repro.telemetry.caches.CacheStats` is the
-#: uniform stats record now; the field order matches the historical
-#: ``CacheInfo(hits, misses, evictions, size, capacity)`` exactly.
-CacheInfo = CacheStats
+def __getattr__(name: str):
+    # Deprecated alias: :class:`repro.telemetry.caches.CacheStats` is the
+    # uniform stats record now; the field order matches the historical
+    # ``CacheInfo(hits, misses, evictions, size, capacity)`` exactly.
+    # Lazy so importing the module never warns — only touching the alias.
+    if name == "CacheInfo":
+        import warnings
+
+        warnings.warn(
+            "repro.serve.cache.CacheInfo is deprecated; use "
+            "repro.telemetry.caches.CacheStats",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return CacheStats
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class LRUCache:
@@ -126,7 +138,7 @@ class DeploymentCache:
     def __len__(self) -> int:
         return len(self._cache)
 
-    def info(self) -> CacheInfo:
+    def info(self) -> CacheStats:
         return self._cache.info()
 
     def get_or_deploy(

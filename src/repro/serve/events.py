@@ -1,0 +1,738 @@
+"""Event-driven, virtual-clock serving simulator.
+
+This is the fleet-scale engine behind ``serve-sim --engine events``: a
+priority-queue event loop over *virtual* time that pushes millions of
+simulated requests through in seconds of wall time. It is a pure timing
+simulator — instances are :class:`repro.serve.fleet.ServiceProfile`
+records, not live pipelines — and it is **differentially pinned** against
+the reference :class:`repro.serve.simulator.ServingSimulator`: with one
+SLO class, windowed batching and no autoscaling, per-request latencies
+and batch compositions are *exactly* (float-for-float) equal
+(``tests/test_serve_events.py``).
+
+Event kinds, in tie-break order at equal virtual times:
+
+1. ``FINISH`` — an instance completes a batch (or one streamed image in
+   continuous mode); waiting work dispatches immediately.
+2. ``ARRIVAL`` — a request arrives; admission control may reject it,
+   otherwise it joins its SLO class's open batch (windows mode) or queue
+   (continuous mode). Arrivals are walked straight off the sorted trace
+   array, so they never enter the heap.
+3. ``SEAL`` — a batching window expires (``max_wait_s`` after the oldest
+   member arrived); processed after same-instant arrivals so a request
+   arriving exactly at the deadline still joins, matching
+   :func:`repro.serve.batcher.form_batches`.
+4. ``SCALE`` — the autoscaler evaluates its policy.
+
+Batching modes:
+
+- **windows** (default, reference-equivalent): a batch seals when full
+  (``max_batch``) or at its window deadline, then dispatches whole to the
+  earliest-free instance.
+- **continuous**: no windows — each instance is a pipelined stream, and
+  queued requests are admitted *into the in-flight batch* whenever a
+  stream lane (``max_batch`` of them) frees up. An admitted request
+  finishes at ``max(now + fill, tail + step)``: either it refills a
+  drained pipeline or it slots in behind the last scheduled image.
+
+SLO classes are served strictly by priority; per-class ``queue_limit``
+gives admission control, and rejected requests surface in the report,
+``ServeStats`` and the telemetry snapshot with their reasons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..telemetry.context import Telemetry
+from ..telemetry.spans import VirtualClock
+from .batcher import BatchPolicy
+from .fleet import AutoscalePolicy, Fleet, ScaleEvent, ServiceProfile
+from .loadgen import LoadTrace
+from .stats import Rejection, ServeStats
+
+__all__ = [
+    "DEFAULT_SLO",
+    "EventBatch",
+    "EventDrivenSimulator",
+    "EventOutcome",
+    "EventReport",
+    "EventRequest",
+    "SLOClass",
+]
+
+# Tie-break ranks of same-instant events (see module docstring).
+_FINISH, _ARRIVAL, _SEAL, _SCALE = 0, 1, 2, 3
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """One service-level class of the request population.
+
+    ``priority`` orders dispatch (lower = more latency-sensitive, served
+    first); ``queue_limit`` bounds the class's admitted-but-unstarted
+    requests (admission control — arrivals beyond it are rejected with
+    reason ``"queue_full"``); ``max_wait_s`` optionally overrides the
+    batch policy's window deadline for this class;
+    ``target_latency_s`` is the SLO target reported alongside the
+    measured percentiles (it does not change scheduling).
+    """
+
+    name: str
+    priority: int = 0
+    target_latency_s: Optional[float] = None
+    queue_limit: Optional[int] = None
+    max_wait_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("an SLO class needs a name")
+        if self.queue_limit is not None and self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1 (or None)")
+        if self.max_wait_s is not None and self.max_wait_s < 0:
+            raise ValueError("max_wait_s cannot be negative")
+        if self.target_latency_s is not None and self.target_latency_s <= 0:
+            raise ValueError("target_latency_s must be positive")
+
+
+DEFAULT_SLO = SLOClass("standard")
+
+
+@dataclass(frozen=True)
+class EventRequest:
+    """One simulated request: id, arrival time and SLO class name."""
+
+    request_id: int
+    arrival_s: float
+    slo: str = DEFAULT_SLO.name
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival time cannot be negative")
+
+
+@dataclass(frozen=True)
+class EventOutcome:
+    """One served request's full timing attribution.
+
+    Same timing surface as :class:`repro.serve.stats.ServeResponse`
+    (so :class:`ServeStats` consumes either), plus the SLO class; the
+    event engine carries no payloads, so there is no output tensor.
+    """
+
+    request_id: int
+    slo: str
+    worker_id: int
+    batch_id: int
+    batch_size: int
+    arrival_s: float
+    close_s: float
+    start_s: float
+    finish_s: float
+
+    @property
+    def batch_wait_s(self) -> float:
+        return self.close_s - self.arrival_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.start_s - self.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        return self.finish_s - self.start_s
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+
+@dataclass(frozen=True)
+class EventBatch:
+    """Dispatch record of one batch (windows) or stream run (continuous)."""
+
+    batch_id: int
+    worker_id: int
+    slo: str
+    size: int
+    close_s: float
+    start_s: float
+    finish_s: float
+
+
+@dataclass(frozen=True)
+class EventReport:
+    """Everything one event-driven serving run produced."""
+
+    outcomes: Tuple[EventOutcome, ...]
+    rejections: Tuple[Rejection, ...]
+    batches: Tuple[EventBatch, ...]
+    scale_events: Tuple[ScaleEvent, ...]
+    class_names: Tuple[str, ...]
+    offered: int
+    served: int
+    makespan_s: float
+    max_queue_depth: int
+    final_instances: int
+    peak_instances: int
+    busy_seconds: Dict[int, float]
+    dense_ops_per_image: int
+    records_collected: bool
+
+    @property
+    def rejected(self) -> int:
+        return len(self.rejections)
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.served / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    @property
+    def stats(self) -> ServeStats:
+        """ServeStats over the outcomes (needs ``collect_records=True``)."""
+        if not self.records_collected:
+            raise ValueError(
+                "per-request records were not collected "
+                "(engine ran with collect_records=False)"
+            )
+        return ServeStats(
+            self.outcomes,
+            dense_ops_per_image=self.dense_ops_per_image,
+            rejections=self.rejections,
+        )
+
+
+class _ClassState:
+    """Mutable per-SLO-class serving state (internal)."""
+
+    __slots__ = ("open", "open_seq", "queue", "queue_head", "pending",
+                 "max_wait_s", "limit", "priority", "name")
+
+    def __init__(self, slo: SLOClass, max_wait_s: float) -> None:
+        self.name = slo.name
+        self.priority = slo.priority
+        self.limit = slo.queue_limit
+        self.max_wait_s = (
+            slo.max_wait_s if slo.max_wait_s is not None else max_wait_s
+        )
+        self.open: List[Tuple[int, float]] = []  # windows: open batch
+        self.open_seq = 0  # generation counter invalidating stale SEALs
+        self.queue: List[Tuple[int, float]] = []  # continuous: FIFO queue
+        self.queue_head = 0  # pop index (amortized O(1) FIFO on a list)
+        self.pending = 0  # admitted but not yet started
+
+    def queue_len(self) -> int:
+        return len(self.queue) - self.queue_head
+
+
+class EventDrivenSimulator:
+    """Virtual-clock, event-driven serving over a simulated fleet."""
+
+    def __init__(
+        self,
+        profile: ServiceProfile,
+        policy: BatchPolicy,
+        classes: Sequence[SLOClass] = (DEFAULT_SLO,),
+        instances: int = 1,
+        continuous: bool = False,
+        autoscale: Optional[AutoscalePolicy] = None,
+        telemetry: Optional[Telemetry] = None,
+        record_spans: bool = True,
+        collect_records: bool = True,
+    ) -> None:
+        """``collect_records=False`` skips per-request outcome/batch
+        materialization (fleet-scale runs keep only aggregate latencies
+        and the telemetry instruments); ``record_spans=False`` keeps the
+        metrics registry wiring but skips the per-batch span tree."""
+        if instances < 1:
+            raise ValueError("need at least one instance")
+        if not classes:
+            raise ValueError("need at least one SLO class")
+        names = [slo.name for slo in classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO class names in {names}")
+        if autoscale is not None and not (
+            autoscale.min_instances <= instances <= autoscale.max_instances
+        ):
+            raise ValueError(
+                "initial instance count must lie within "
+                "[min_instances, max_instances] of the autoscale policy"
+            )
+        self.profile = profile
+        self.policy = policy
+        self.classes = tuple(classes)
+        self.instances = instances
+        self.continuous = continuous
+        self.autoscale = autoscale
+        self.telemetry = telemetry
+        self.record_spans = record_spans
+        self.collect_records = collect_records
+        self.clock = VirtualClock()
+        self._class_index = {slo.name: i for i, slo in enumerate(self.classes)}
+
+    # ---- entry points ---------------------------------------------------
+
+    def run(self, requests: Sequence[EventRequest]) -> EventReport:
+        """Simulate an explicit request list (tests, small CLI runs)."""
+        if not requests:
+            raise ValueError("need at least one request")
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        ids = [r.request_id for r in ordered]
+        if len(set(ids)) != len(ids):
+            raise ValueError("request ids must be unique")
+        arrivals = [r.arrival_s for r in ordered]
+        try:
+            class_ids = [self._class_index[r.slo] for r in ordered]
+        except KeyError as error:
+            raise ValueError(f"unknown SLO class {error.args[0]!r}") from None
+        return self._simulate(ids, arrivals, class_ids)
+
+    def run_trace(self, trace: LoadTrace) -> EventReport:
+        """Simulate a generated :class:`LoadTrace` (fleet-scale path)."""
+        try:
+            remap = [self._class_index[name] for name in trace.class_names]
+        except KeyError as error:
+            raise ValueError(
+                f"trace class {error.args[0]!r} not among engine classes "
+                f"{sorted(self._class_index)}"
+            ) from None
+        class_ids = [remap[i] for i in trace.class_ids.tolist()]
+        arrivals = trace.arrivals.tolist()
+        return self._simulate(list(range(len(arrivals))), arrivals, class_ids)
+
+    # ---- the event loop -------------------------------------------------
+
+    def _simulate(
+        self,
+        ids: List[int],
+        arrivals: List[float],
+        class_ids: List[int],
+    ) -> EventReport:
+        profile = self.profile
+        fill = profile.fill_s
+        step = profile.step_s
+        max_batch = self.policy.max_batch
+        continuous = self.continuous
+        collect = self.collect_records
+        fleet = Fleet(profile, self.instances)
+        states = [
+            _ClassState(slo, self.policy.max_wait_s) for slo in self.classes
+        ]
+        by_priority = sorted(
+            range(len(states)), key=lambda i: (states[i].priority, i)
+        )
+
+        heap: List[tuple] = []  # (time, rank, seq, a, b)
+        seq = 0
+        dispatch: List[tuple] = []  # (priority, close_s, bseq, cls, members)
+        bseq = 0
+        next_batch_id = 0
+
+        n = len(arrivals)
+        i = 0  # next arrival index
+        queued = 0  # admitted but not started, across classes
+        max_queued = 0
+        in_service = 0  # outstanding FINISH events
+        last_scale_s = -float("inf")
+        scale_events: List[ScaleEvent] = []
+
+        rejections: List[Rejection] = []
+        # Parallel per-request record columns (materialized at the end).
+        rec_rid: List[int] = []
+        rec_cls: List[int] = []
+        rec_worker: List[int] = []
+        rec_batch: List[int] = []
+        rec_arrival: List[float] = []
+        rec_close: List[float] = []
+        rec_start: List[float] = []
+        rec_finish: List[float] = []
+        # Aggregates kept even when records are off.
+        lat_by_class: List[List[float]] = [[] for _ in states]
+        wait_all: List[float] = []
+        served = 0
+        last_finish_s = arrivals[0] if n else 0.0
+        first_arrival_s = arrivals[0] if n else 0.0
+        # Batch traces; continuous mode finalizes stream runs at the end.
+        batch_rows: List[list] = []  # [id, worker, cls, size, close, start, finish]
+        run_of_instance: Dict[int, int] = {}  # continuous: open run per instance
+
+        def more_work() -> bool:
+            return i < n or queued > 0 or in_service > 0
+
+        def record(rid: int, cls: int, worker: int, batch: int,
+                   arrival: float, close: float, start: float,
+                   finish: float) -> None:
+            nonlocal served, last_finish_s
+            served += 1
+            lat_by_class[cls].append(finish - arrival)
+            wait_all.append(start - arrival)
+            if finish > last_finish_s:
+                last_finish_s = finish
+            if collect:
+                rec_rid.append(rid)
+                rec_cls.append(cls)
+                rec_worker.append(worker)
+                rec_batch.append(batch)
+                rec_arrival.append(arrival)
+                rec_close.append(close)
+                rec_start.append(start)
+                rec_finish.append(finish)
+
+        # ---- windows mode helpers ----------------------------------
+
+        def seal(cls: int, close_s: float) -> None:
+            nonlocal bseq
+            state = states[cls]
+            members = state.open
+            state.open = []
+            state.open_seq += 1
+            heappush(dispatch, (state.priority, close_s, bseq, cls, members))
+            bseq += 1
+            try_dispatch()
+
+        def try_dispatch() -> None:
+            nonlocal in_service, seq, next_batch_id, queued
+            while dispatch:
+                now = self.clock.now()
+                free = [w for w in fleet.active if w.available_s <= now]
+                if not free:
+                    return
+                worker = min(free, key=lambda w: (w.available_s, w.instance_id))
+                _, close_s, _, cls, members = heappop(dispatch)
+                size = len(members)
+                # Same expression as the reference simulator, so start
+                # and finish are float-identical on the restricted config.
+                start_s = max(close_s, worker.available_s)
+                finish_s = start_s + profile.batch_seconds(size)
+                worker.available_s = finish_s
+                worker.busy_s += finish_s - start_s
+                worker.batches += 1
+                batch_id = next_batch_id
+                next_batch_id += 1
+                states[cls].pending -= size
+                queued -= size
+                in_service += 1
+                heappush(heap, (finish_s, _FINISH, seq, worker, None))
+                seq += 1
+                if collect:
+                    batch_rows.append(
+                        [batch_id, worker.instance_id, cls, size,
+                         close_s, start_s, finish_s]
+                    )
+                for rid, arrival in members:
+                    record(rid, cls, worker.instance_id, batch_id,
+                           arrival, close_s, start_s, finish_s)
+
+        # ---- continuous mode helpers -------------------------------
+
+        def try_admit() -> None:
+            nonlocal in_service, seq, next_batch_id, queued
+            now = self.clock.now()
+            while True:
+                state = None
+                cls = -1
+                for index in by_priority:
+                    if states[index].queue_len() > 0:
+                        state, cls = states[index], index
+                        break
+                if state is None:
+                    return
+                best = None
+                best_key = None
+                for w in fleet.active:
+                    if w.in_flight >= max_batch:
+                        continue
+                    finish = max(now + fill, w.tail_s + step)
+                    key = (finish, w.instance_id)
+                    if best_key is None or key < best_key:
+                        best, best_key = w, key
+                if best is None:
+                    return
+                rid, arrival = state.queue[state.queue_head]
+                state.queue_head += 1
+                if state.queue_head > 64 and state.queue_head * 2 > len(state.queue):
+                    del state.queue[: state.queue_head]
+                    state.queue_head = 0
+                state.pending -= 1
+                queued -= 1
+                if best.in_flight == 0:
+                    run = next_batch_id
+                    next_batch_id += 1
+                    run_of_instance[best.instance_id] = run
+                    if collect:
+                        batch_rows.append(
+                            [run, best.instance_id, cls, 0, now, now, now]
+                        )
+                else:
+                    run = run_of_instance[best.instance_id]
+                finish_s = best_key[0]
+                best.busy_s += finish_s - max(best.tail_s, now)
+                best.tail_s = finish_s
+                best.in_flight += 1
+                in_service += 1
+                heappush(heap, (finish_s, _FINISH, seq, best, None))
+                seq += 1
+                if collect:
+                    row = batch_rows[-1] if batch_rows[-1][0] == run else None
+                    if row is None:  # joined an earlier run
+                        for row in reversed(batch_rows):
+                            if row[0] == run:
+                                break
+                    row[3] += 1
+                    row[6] = max(row[6], finish_s)
+                    if row[2] != cls:
+                        row[2] = -1  # mixed-class stream run
+                record(rid, cls, best.instance_id, run,
+                       arrival, now, now, finish_s)
+
+        # ---- autoscaling -------------------------------------------
+
+        def scale_check() -> None:
+            nonlocal last_scale_s, seq
+            policy = self.autoscale
+            now = self.clock.now()
+            if policy is None:
+                return
+            if now - last_scale_s >= policy.cooldown_s:
+                per_instance = queued / fleet.size
+                if (
+                    per_instance > policy.scale_up_queue_per_instance
+                    and fleet.size < policy.max_instances
+                ):
+                    worker = fleet.spawn(now + policy.startup_delay_s)
+                    last_scale_s = now
+                    scale_events.append(
+                        ScaleEvent(
+                            time_s=now,
+                            action="up",
+                            instances=fleet.size,
+                            queued=queued,
+                            reason=(
+                                f"queue depth {queued} > "
+                                f"{policy.scale_up_queue_per_instance:g}"
+                                f"/instance x {fleet.size - 1}"
+                            ),
+                        )
+                    )
+                    del worker
+                elif (
+                    queued == 0
+                    and fleet.size > policy.min_instances
+                    and fleet.retire_idle(now) is not None
+                ):
+                    last_scale_s = now
+                    scale_events.append(
+                        ScaleEvent(
+                            time_s=now,
+                            action="down",
+                            instances=fleet.size,
+                            queued=0,
+                            reason="idle instance, empty queue",
+                        )
+                    )
+            # Always retry dispatch: an instance may have just left its
+            # startup delay with no FINISH/SEAL event pending to kick it.
+            if continuous:
+                try_admit()
+            else:
+                try_dispatch()
+            if more_work() or fleet.size > policy.min_instances:
+                heappush(
+                    heap,
+                    (now + policy.check_interval_s, _SCALE, seq, None, None),
+                )
+                seq += 1
+
+        if self.autoscale is not None and n:
+            heappush(heap, (first_arrival_s, _SCALE, seq, None, None))
+            seq += 1
+
+        # ---- main loop ---------------------------------------------
+
+        while i < n or heap:
+            take_heap = bool(heap) and (
+                i >= n
+                or heap[0][0] < arrivals[i]
+                or (heap[0][0] == arrivals[i] and heap[0][1] < _ARRIVAL)
+            )
+            if take_heap:
+                time_s, rank, _, a, b = heappop(heap)
+                self.clock.advance_to(time_s)
+                if rank == _FINISH:
+                    in_service -= 1
+                    if continuous:
+                        a.in_flight -= 1
+                        try_admit()
+                    else:
+                        try_dispatch()
+                elif rank == _SEAL:
+                    cls = a
+                    if b == states[cls].open_seq and states[cls].open:
+                        seal(cls, time_s)
+                elif rank == _SCALE:
+                    scale_check()
+                continue
+            # Arrival i.
+            t = arrivals[i]
+            rid = ids[i]
+            cls = class_ids[i]
+            i += 1
+            self.clock.advance_to(t)
+            state = states[cls]
+            limit = state.limit
+            if limit is not None and state.pending >= limit:
+                rejections.append(
+                    Rejection(
+                        request_id=rid,
+                        slo=state.name,
+                        arrival_s=t,
+                        reason="queue_full",
+                    )
+                )
+                continue
+            state.pending += 1
+            queued += 1
+            if queued > max_queued:
+                max_queued = queued
+            if continuous:
+                state.queue.append((rid, t))
+                try_admit()
+            else:
+                state.open.append((rid, t))
+                if len(state.open) == 1:
+                    state.open_seq += 1
+                    heappush(
+                        heap,
+                        (t + state.max_wait_s, _SEAL, seq, cls,
+                         state.open_seq),
+                    )
+                    seq += 1
+                if len(state.open) >= max_batch:
+                    seal(cls, t)
+
+        # ---- report ------------------------------------------------
+
+        makespan_s = (
+            last_finish_s - first_arrival_s if served else 0.0
+        )
+        outcomes: Tuple[EventOutcome, ...] = ()
+        batches: Tuple[EventBatch, ...] = ()
+        if collect:
+            run_sizes = {row[0]: row[3] for row in batch_rows}
+            outcomes = tuple(
+                EventOutcome(
+                    request_id=rec_rid[k],
+                    slo=states[rec_cls[k]].name,
+                    worker_id=rec_worker[k],
+                    batch_id=rec_batch[k],
+                    batch_size=run_sizes[rec_batch[k]],
+                    arrival_s=rec_arrival[k],
+                    close_s=rec_close[k],
+                    start_s=rec_start[k],
+                    finish_s=rec_finish[k],
+                )
+                for k in range(len(rec_rid))
+            )
+            batches = tuple(
+                EventBatch(
+                    batch_id=row[0],
+                    worker_id=row[1],
+                    slo="mixed" if row[2] < 0 else states[row[2]].name,
+                    size=row[3],
+                    close_s=row[4],
+                    start_s=row[5],
+                    finish_s=row[6],
+                )
+                for row in sorted(batch_rows)
+            )
+        report = EventReport(
+            outcomes=outcomes,
+            rejections=tuple(rejections),
+            batches=batches,
+            scale_events=tuple(scale_events),
+            class_names=tuple(state.name for state in states),
+            offered=n,
+            served=served,
+            makespan_s=makespan_s,
+            max_queue_depth=max_queued,
+            final_instances=fleet.size,
+            peak_instances=fleet.peak_size,
+            busy_seconds=fleet.busy_seconds(),
+            dense_ops_per_image=profile.dense_ops_per_image,
+            records_collected=collect,
+        )
+        if self.telemetry is not None:
+            self._record_telemetry(report, lat_by_class, wait_all)
+        return report
+
+    # ---- telemetry ------------------------------------------------------
+
+    def _record_telemetry(
+        self,
+        report: EventReport,
+        lat_by_class: List[List[float]],
+        wait_all: List[float],
+    ) -> None:
+        """Mirror the run into the metrics registry and the span tree.
+
+        Latencies land in sample-retaining histograms (global and one per
+        SLO class), so registry percentiles are *identical* to
+        ``ServeStats.latency_percentile_s`` — p50/p99/p999-vs-offered-load
+        curves come straight from the snapshot.
+        """
+        telemetry = self.telemetry
+        registry = telemetry.registry
+        registry.counter("serve/offered").inc(report.offered)
+        registry.counter("serve/requests").inc(report.served)
+        rejected_counts: Dict[Tuple[str, str], int] = {}
+        for rejection in report.rejections:
+            key = (rejection.slo, rejection.reason)
+            rejected_counts[key] = rejected_counts.get(key, 0) + 1
+        for (slo, reason), count in sorted(rejected_counts.items()):
+            registry.counter("serve/rejected", slo=slo, reason=reason).inc(
+                count
+            )
+        latency = registry.histogram("serve/latency_s")
+        for cls, latencies in enumerate(lat_by_class):
+            if not latencies:
+                continue
+            latency.observe_many(latencies)
+            registry.histogram(
+                "serve/latency_s", slo=report.class_names[cls]
+            ).observe_many(latencies)
+        registry.histogram("serve/queue_wait_s").observe_many(wait_all)
+        if report.batches:
+            registry.counter("serve/batches").inc(len(report.batches))
+            registry.histogram(
+                "serve/batch_size", buckets=(1, 2, 4, 8, 16, 32, 64)
+            ).observe_many([batch.size for batch in report.batches])
+        registry.gauge("serve/makespan_s").set(report.makespan_s)
+        registry.gauge("serve/requests_per_second").set(
+            report.requests_per_second
+        )
+        registry.gauge("serve/max_queue_depth").set(report.max_queue_depth)
+        registry.gauge("serve/instances").set(report.final_instances)
+        registry.gauge("serve/instances_peak").set(report.peak_instances)
+        if self.record_spans and report.records_collected:
+            tracer = telemetry.tracer
+            for batch in report.batches:
+                span = tracer.record_span(
+                    "request",
+                    start_s=batch.close_s,
+                    end_s=batch.finish_s,
+                    batch_id=batch.batch_id,
+                    size=batch.size,
+                    slo=batch.slo,
+                )
+                if span is not None:
+                    with tracer.attach(span):
+                        tracer.record_span(
+                            "batch",
+                            start_s=batch.start_s,
+                            end_s=batch.finish_s,
+                            worker=batch.worker_id,
+                            size=batch.size,
+                            slo=batch.slo,
+                        )

@@ -14,6 +14,13 @@ Batch service time follows the paper's two-stage CPU/FPGA pipeline
 (Section 6.1) generalized to a batch of B images: fill the pipeline once,
 then stream at the slower stage's rate
 (:meth:`repro.runtime.SystemRuntime.batch_seconds`).
+
+This is the **reference engine**: it runs the full numerics per batch, so
+it is exact but slow. The fleet-scale path is the event-driven engine in
+:mod:`repro.serve.events`, which is differentially pinned against this
+class — on one instance with windowed batching, its per-request latencies
+and batch compositions equal this simulator's float-for-float
+(``tests/test_serve_events.py``).
 """
 
 from __future__ import annotations

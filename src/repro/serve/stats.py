@@ -8,9 +8,19 @@ test suite can pin every figure against hand-computed values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """One request turned away by admission control, with the reason."""
+
+    request_id: int
+    slo: str
+    arrival_s: float
+    reason: str
 
 
 @dataclass(frozen=True)
@@ -53,7 +63,10 @@ class ServeStats:
     """Aggregate statistics over one simulated serving run."""
 
     def __init__(
-        self, responses: Sequence[ServeResponse], dense_ops_per_image: int
+        self,
+        responses: Sequence[ServeResponse],
+        dense_ops_per_image: int,
+        rejections: Sequence[Rejection] = (),
     ) -> None:
         if not responses:
             raise ValueError("stats need at least one response")
@@ -63,6 +76,7 @@ class ServeStats:
             sorted(responses, key=lambda r: r.request_id)
         )
         self.dense_ops_per_image = dense_ops_per_image
+        self.rejections: Tuple[Rejection, ...] = tuple(rejections)
 
     # ---- request counts ------------------------------------------------
 
@@ -86,10 +100,53 @@ class ServeStats:
     def mean_batch_size(self) -> float:
         return self.count / self.batch_count
 
+    # ---- admission -----------------------------------------------------
+
+    @property
+    def rejected_count(self) -> int:
+        return len(self.rejections)
+
+    @property
+    def offered_count(self) -> int:
+        """Served plus rejected — the load the clients actually offered."""
+        return self.count + self.rejected_count
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected_count / self.offered_count
+
+    def rejections_by_reason(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for rejection in self.rejections:
+            counts[rejection.reason] = counts.get(rejection.reason, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def rejections_by_class(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for rejection in self.rejections:
+            counts[rejection.slo] = counts.get(rejection.slo, 0) + 1
+        return dict(sorted(counts.items()))
+
+    # ---- SLO classes ---------------------------------------------------
+
+    def slo_classes(self) -> List[str]:
+        """Distinct SLO class names present, sorted ("" when untagged)."""
+        return sorted({getattr(r, "slo", "") for r in self.responses})
+
     # ---- latency -------------------------------------------------------
 
-    def latencies_s(self) -> List[float]:
-        return [r.latency_s for r in self.responses]
+    def latencies_s(self, slo: Optional[str] = None) -> List[float]:
+        """Per-request latencies; ``slo`` filters to one class."""
+        if slo is None:
+            return [r.latency_s for r in self.responses]
+        latencies = [
+            r.latency_s
+            for r in self.responses
+            if getattr(r, "slo", "") == slo
+        ]
+        if not latencies:
+            raise ValueError(f"no responses in SLO class {slo!r}")
+        return latencies
 
     @property
     def mean_latency_s(self) -> float:
@@ -99,11 +156,13 @@ class ServeStats:
     def max_latency_s(self) -> float:
         return float(max(self.latencies_s()))
 
-    def latency_percentile_s(self, percentile: float) -> float:
+    def latency_percentile_s(
+        self, percentile: float, slo: Optional[str] = None
+    ) -> float:
         """Nearest-rank latency percentile (0 < percentile <= 100)."""
         if not 0 < percentile <= 100:
             raise ValueError("percentile must be in (0, 100]")
-        ordered = sorted(self.latencies_s())
+        ordered = sorted(self.latencies_s(slo))
         rank = int(np.ceil(percentile / 100 * len(ordered))) - 1
         return ordered[max(rank, 0)]
 
@@ -114,6 +173,14 @@ class ServeStats:
     @property
     def p95_latency_s(self) -> float:
         return self.latency_percentile_s(95)
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self.latency_percentile_s(99)
+
+    @property
+    def p999_latency_s(self) -> float:
+        return self.latency_percentile_s(99.9)
 
     @property
     def mean_queue_wait_s(self) -> float:
@@ -202,4 +269,18 @@ class ServeStats:
             f"{self.aggregate_gops:.1f} GOP/s aggregate",
             f"worker busy:     {utilization}",
         ]
+        if self.rejections:
+            reasons = ", ".join(
+                f"{reason}: {count}"
+                for reason, count in self.rejections_by_reason().items()
+            )
+            by_class = ", ".join(
+                f"{slo}: {count}"
+                for slo, count in self.rejections_by_class().items()
+            )
+            lines.append(
+                f"rejected:        {self.rejected_count} of "
+                f"{self.offered_count} offered "
+                f"({self.rejection_rate:.1%}; {reasons}; by class {by_class})"
+            )
         return "\n".join(lines)

@@ -158,6 +158,42 @@ class Histogram:
             else:
                 self.truncated = True
 
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Bulk :meth:`observe` — one vectorized pass over ``values``.
+
+        Semantically identical to observing each value in order (same
+        bucket counts, same retained-sample prefix under ``max_samples``);
+        the event-driven serving engine uses it to land millions of
+        virtual latencies without a Python-level loop.
+        """
+        import numpy as np
+
+        array = np.asarray(values, dtype=float)
+        if array.ndim != 1:
+            raise ValueError("observe_many takes a 1-D value sequence")
+        if array.size == 0:
+            return
+        indices = np.searchsorted(self.buckets, array, side="left")
+        counts = np.bincount(indices, minlength=len(self.buckets) + 1)
+        with self._lock:
+            self.count += int(array.size)
+            self.sum += float(array.sum())
+            low = float(array.min())
+            high = float(array.max())
+            self._min = low if self._min is None else min(self._min, low)
+            self._max = high if self._max is None else max(self._max, high)
+            for i in range(len(self.buckets)):
+                self.bucket_counts[i] += int(counts[i])
+            self.overflow += int(counts[len(self.buckets)])
+            if self.max_samples is None:
+                self._samples.extend(array.tolist())
+            else:
+                room = self.max_samples - len(self._samples)
+                if room < array.size:
+                    self.truncated = True
+                if room > 0:
+                    self._samples.extend(array[:room].tolist())
+
     @property
     def min(self) -> Optional[float]:
         return self._min
@@ -221,6 +257,9 @@ class _NullInstrument:
         pass
 
     def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values: Sequence[float]) -> None:
         pass
 
     @property

@@ -43,6 +43,18 @@ class VirtualClock:
             self._now += seconds
             return self._now
 
+    def advance_to(self, target_s: float) -> float:
+        """Advance to an absolute time, exactly (no-op if already past).
+
+        ``advance(t - now())`` lands on ``now + (t - now)``, which float
+        rounding can leave a few ULP off ``t``; event-driven simulators
+        need the clock to sit *exactly* on each event's timestamp.
+        """
+        with self._lock:
+            if target_s > self._now:
+                self._now = float(target_s)
+            return self._now
+
 
 class Span:
     """One named, timed interval with attributes and child spans."""

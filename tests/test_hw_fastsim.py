@@ -29,8 +29,8 @@ from repro.hw import (
     clear_sim_cache,
     compile_window_schedules,
     make_kernel_groups,
+    sim_cache_info,
     sim_cache_size,
-    sim_cache_stats,
     simulate_layer,
     simulate_layer_fast,
     simulate_layer_reference,
@@ -240,7 +240,7 @@ class TestSimResultCache:
         assert sim_cache_size() == len(small_workload.layers)
         second = simulator.simulate(small_workload)
         assert first == second
-        hits, _ = sim_cache_stats()
+        hits = sim_cache_info().hits
         assert hits == len(small_workload.layers)
         # Cached entries are the very same LayerSimResult objects.
         for a, b in zip(first.layers, second.layers):
@@ -251,9 +251,9 @@ class TestSimResultCache:
         """Re-instantiating the simulator (deploy.py, CLI) reuses results."""
         clear_sim_cache()
         AcceleratorSimulator(config, STRATIX_V_GXA7).simulate(small_workload)
-        _, misses_before = sim_cache_stats()
+        misses_before = sim_cache_info().misses
         AcceleratorSimulator(config, STRATIX_V_GXA7).simulate(small_workload)
-        _, misses_after = sim_cache_stats()
+        misses_after = sim_cache_info().misses
         assert misses_after == misses_before
         clear_sim_cache()
 

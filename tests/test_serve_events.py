@@ -1,0 +1,458 @@
+"""Differential pinning of the event-driven serving engine.
+
+The contract this file enforces is the one ``docs/serving.md`` promises:
+on the restricted configuration — one SLO class, windowed batching, no
+autoscaling — the event-driven engine is *exactly* equal to the reference
+:class:`ServingSimulator`: same batch compositions, same workers, and
+float-for-float identical close/start/finish times, first on a fixed
+trace through a real quantized pipeline and then on hypothesis-randomized
+traces against a timing-faithful fake runtime. Randomized traces also pin
+the engine's serving invariants (served exactly once, FIFO within an SLO
+class, batch/lane caps, bounded batching wait) in both batching modes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import (
+    BatchPolicy,
+    EventDrivenSimulator,
+    EventRequest,
+    ServiceProfile,
+    ServingSimulator,
+    SLOClass,
+    build_worker_pool,
+    make_requests,
+)
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+class _FakeSimulation:
+    def __init__(self, seconds_per_image: float, dense_ops: int) -> None:
+        self.seconds_per_image = seconds_per_image
+        self.dense_ops = dense_ops
+
+
+class _FakeNetwork:
+    name = "fake"
+
+
+class _FakePipeline:
+    network = _FakeNetwork()
+
+
+class _FakeOutcome:
+    output = np.zeros(1)
+    top1 = 0
+
+
+class _FakeHostModel:
+    def __init__(self, host_s: float) -> None:
+        self._host_s = host_s
+
+    def seconds_per_image(self, network) -> float:
+        return self._host_s
+
+
+class FakeRuntime:
+    """Duck-typed SystemRuntime: real timing arithmetic, no numerics.
+
+    Exposes exactly the surface ``ServingSimulator`` and
+    ``ServiceProfile.from_runtime`` touch, with the same batch-time
+    expression as the real runtime — so the differential comparison
+    exercises the full float pipeline without building a model.
+    """
+
+    def __init__(self, fpga_s: float, host_s: float, dense_ops: int = 7) -> None:
+        self.simulation = _FakeSimulation(fpga_s, dense_ops)
+        self.host_model = _FakeHostModel(host_s)
+        self.pipeline = _FakePipeline()
+        self._fpga_s = fpga_s
+        self._host_s = host_s
+
+    def batch_seconds(self, batch_size: int) -> float:
+        return self._fpga_s + self._host_s + (batch_size - 1) * max(
+            self._fpga_s, self._host_s
+        )
+
+    def infer_batch(self, images):
+        return [_FakeOutcome() for _ in images]
+
+
+def _dummy_requests(arrivals):
+    image = np.zeros(1)
+    return make_requests([image] * len(arrivals), list(arrivals))
+
+
+def _run_both(arrivals, policy, fpga_s, host_s, workers=1):
+    """(reference report, event report) over the same arrival trace."""
+    pool = [FakeRuntime(fpga_s, host_s) for _ in range(workers)]
+    reference = ServingSimulator(pool, policy).run(_dummy_requests(arrivals))
+    engine = EventDrivenSimulator(
+        ServiceProfile.from_runtime(pool[0]), policy, instances=workers
+    )
+    events = engine.run(
+        [EventRequest(i, float(t)) for i, t in enumerate(arrivals)]
+    )
+    return reference, events
+
+
+def _assert_exactly_equal(reference, events):
+    """Per-request and per-batch float-for-float equality."""
+    assert events.served == len(reference.responses)
+    by_id = {r.request_id: r for r in reference.responses}
+    for outcome in events.outcomes:
+        ref = by_id[outcome.request_id]
+        assert outcome.worker_id == ref.worker_id
+        assert outcome.batch_id == ref.batch_id
+        assert outcome.batch_size == ref.batch_size
+        # Exact equality, not approx: same floats through same expressions.
+        assert outcome.arrival_s == ref.arrival_s
+        assert outcome.close_s == ref.close_s
+        assert outcome.start_s == ref.start_s
+        assert outcome.finish_s == ref.finish_s
+        assert outcome.latency_s == ref.latency_s
+    ref_batches = {
+        b.batch_id: (b.worker_id, b.size, b.close_s, b.start_s, b.finish_s)
+        for b in reference.batches
+    }
+    evt_batches = {
+        b.batch_id: (b.worker_id, b.size, b.close_s, b.start_s, b.finish_s)
+        for b in events.batches
+    }
+    assert evt_batches == ref_batches
+
+
+# hypothesis building blocks: arrival gaps spanning idle gaps, ties and
+# sub-deadline clusters, in units of the ~ms service times below.
+_GAPS = st.lists(
+    st.floats(min_value=0.0, max_value=8e-3, allow_nan=False),
+    min_size=1,
+    max_size=48,
+)
+_POLICIES = st.builds(
+    BatchPolicy,
+    max_batch=st.integers(min_value=1, max_value=6),
+    max_wait_s=st.sampled_from([0.0, 5e-4, 2e-3, 1e-2]),
+)
+
+
+def _arrivals_from_gaps(gaps):
+    return np.cumsum(np.asarray(gaps))
+
+
+# ---------------------------------------------------------------------------
+# differential: fixed trace through a real pipeline
+# ---------------------------------------------------------------------------
+
+
+class TestDifferentialRealPipeline:
+    @pytest.fixture(scope="class")
+    def pool(self, tiny_network_module):
+        from repro.pipeline import QuantizedPipeline
+        from repro.prune import uniform_schedule
+
+        architecture, network = tiny_network_module
+        rng = np.random.default_rng(7)
+        pipeline = QuantizedPipeline(network)
+        names = [layer.name for layer in network.accelerated_layers()]
+        pipeline.prune(uniform_schedule(names, 0.4).densities)
+        pipeline.calibrate(rng.normal(size=network.input_shape.as_tuple()))
+        pipeline.quantize()
+        return build_worker_pool(
+            pipeline, architecture.accelerated_specs(), 2
+        )
+
+    @pytest.fixture(scope="class")
+    def tiny_network_module(self):
+        from repro.nn.models import (
+            Architecture,
+            ConvDef,
+            FCDef,
+            FlattenDef,
+            PoolDef,
+            ReLUDef,
+            SoftmaxDef,
+        )
+
+        architecture = Architecture(
+            name="tiny",
+            input_channels=3,
+            input_rows=16,
+            input_cols=16,
+            defs=[
+                ConvDef("conv1", 8, kernel=3, padding=1),
+                ReLUDef("relu1"),
+                PoolDef("pool1", kernel=2, stride=2),
+                FlattenDef("flatten"),
+                FCDef("fc2", 10, scale_output=False),
+                SoftmaxDef("prob"),
+            ],
+        )
+        return architecture, architecture.build(seed=10)
+
+    def test_fixed_trace_exact_equality(self, pool):
+        """The ISSUE's pinning config: fixed trace, windows, real model."""
+        profile = ServiceProfile.from_runtime(pool[0])
+        # A trace with ties, a full batch, a deadline close and idle gaps.
+        step = profile.step_s
+        arrivals = [
+            0.0, 0.0, 0.1 * step, 0.2 * step, 0.2 * step, 0.3 * step,
+            7.0 * step, 7.1 * step,
+            30.0 * step,
+        ]
+        policy = BatchPolicy(max_batch=4, max_wait_s=0.5 * step)
+        rng = np.random.default_rng(3)
+        shape = pool[0].pipeline.network.input_shape.as_tuple()
+        images = [rng.normal(size=shape) for _ in arrivals]
+        reference = ServingSimulator(pool, policy).run(
+            make_requests(images, arrivals)
+        )
+        engine = EventDrivenSimulator(profile, policy, instances=len(pool))
+        events = engine.run(
+            [EventRequest(i, t) for i, t in enumerate(arrivals)]
+        )
+        _assert_exactly_equal(reference, events)
+        # And the aggregate stats agree exactly too.
+        assert events.stats.p50_latency_s == reference.stats.p50_latency_s
+        assert events.stats.makespan_s == reference.stats.makespan_s
+        assert (
+            events.stats.batch_size_histogram()
+            == reference.stats.batch_size_histogram()
+        )
+
+    def test_profile_copies_runtime_floats(self, pool):
+        profile = ServiceProfile.from_runtime(pool[0])
+        for size in (1, 2, 5, 8):
+            assert profile.batch_seconds(size) == pool[0].batch_seconds(size)
+
+
+# ---------------------------------------------------------------------------
+# differential: hypothesis-randomized traces (fake runtime, full floats)
+# ---------------------------------------------------------------------------
+
+
+class TestDifferentialRandomized:
+    @settings(max_examples=60, deadline=None)
+    @given(gaps=_GAPS, policy=_POLICIES)
+    def test_single_worker_exact(self, gaps, policy):
+        arrivals = _arrivals_from_gaps(gaps)
+        reference, events = _run_both(arrivals, policy, 1.7e-3, 0.9e-3)
+        _assert_exactly_equal(reference, events)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        gaps=_GAPS,
+        policy=_POLICIES,
+        workers=st.integers(min_value=2, max_value=4),
+    )
+    def test_multi_worker_exact(self, gaps, policy, workers):
+        arrivals = _arrivals_from_gaps(gaps)
+        reference, events = _run_both(
+            arrivals, policy, 2.1e-3, 2.1e-3, workers=workers
+        )
+        _assert_exactly_equal(reference, events)
+
+    @settings(max_examples=30, deadline=None)
+    @given(gaps=_GAPS, policy=_POLICIES)
+    def test_host_bound_profile_exact(self, gaps, policy):
+        """host > fpga flips the pipeline bottleneck; equality must hold."""
+        arrivals = _arrivals_from_gaps(gaps)
+        reference, events = _run_both(arrivals, policy, 0.4e-3, 3.0e-3)
+        _assert_exactly_equal(reference, events)
+
+
+# ---------------------------------------------------------------------------
+# invariants on randomized traces (both batching modes)
+# ---------------------------------------------------------------------------
+
+
+def _run_events(arrivals, policy, continuous, classes=None, workers=1):
+    profile = ServiceProfile(fpga_s=1.5e-3, host_s=0.8e-3)
+    kwargs = {}
+    if classes is not None:
+        kwargs["classes"] = classes
+    engine = EventDrivenSimulator(
+        profile, policy, instances=workers, continuous=continuous, **kwargs
+    )
+    if classes is None:
+        requests = [EventRequest(i, float(t)) for i, t in enumerate(arrivals)]
+    else:
+        names = [slo.name for slo in classes]
+        requests = [
+            EventRequest(i, float(t), slo=names[i % len(names)])
+            for i, t in enumerate(arrivals)
+        ]
+    return engine.run(requests), requests
+
+
+class TestInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        gaps=_GAPS,
+        policy=_POLICIES,
+        continuous=st.booleans(),
+        workers=st.integers(min_value=1, max_value=3),
+    )
+    def test_served_exactly_once(self, gaps, policy, continuous, workers):
+        arrivals = _arrivals_from_gaps(gaps)
+        report, requests = _run_events(
+            arrivals, policy, continuous, workers=workers
+        )
+        assert report.rejected == 0
+        served_ids = sorted(o.request_id for o in report.outcomes)
+        assert served_ids == [r.request_id for r in requests]
+
+    @settings(max_examples=60, deadline=None)
+    @given(gaps=_GAPS, policy=_POLICIES, continuous=st.booleans())
+    def test_fifo_within_slo_class(self, gaps, policy, continuous):
+        """Earlier arrival in the same class never finishes later."""
+        classes = (SLOClass("a", priority=0), SLOClass("b", priority=1))
+        arrivals = _arrivals_from_gaps(gaps)
+        report, _ = _run_events(
+            arrivals, policy, continuous, classes=classes
+        )
+        by_class = {}
+        for outcome in sorted(
+            report.outcomes, key=lambda o: (o.arrival_s, o.request_id)
+        ):
+            by_class.setdefault(outcome.slo, []).append(outcome)
+        for outcomes in by_class.values():
+            starts = [o.start_s for o in outcomes]
+            finishes = [o.finish_s for o in outcomes]
+            assert starts == sorted(starts)
+            assert finishes == sorted(finishes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(gaps=_GAPS, policy=_POLICIES)
+    def test_windows_batch_and_wait_caps(self, gaps, policy):
+        """No batch exceeds max_batch; no request waits past max_wait_s."""
+        arrivals = _arrivals_from_gaps(gaps)
+        report, _ = _run_events(arrivals, policy, continuous=False)
+        assert report.batches
+        for batch in report.batches:
+            assert 1 <= batch.size <= policy.max_batch
+        for outcome in report.outcomes:
+            # Batch-formation wait (close - arrival) honors the deadline;
+            # the dispatch queue behind busy instances is extra and
+            # unbounded by design.
+            assert (
+                outcome.close_s - outcome.arrival_s
+                <= policy.max_wait_s + 1e-12
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        gaps=_GAPS,
+        policy=_POLICIES,
+        workers=st.integers(min_value=1, max_value=3),
+    )
+    def test_continuous_lane_cap(self, gaps, policy, workers):
+        """Per-instance in-flight concurrency never exceeds max_batch."""
+        arrivals = _arrivals_from_gaps(gaps)
+        report, _ = _run_events(
+            arrivals, policy, continuous=True, workers=workers
+        )
+        per_worker = {}
+        for outcome in report.outcomes:
+            per_worker.setdefault(outcome.worker_id, []).append(outcome)
+        for outcomes in per_worker.values():
+            events = sorted(
+                [(o.start_s, 1) for o in outcomes]
+                + [(o.finish_s, -1) for o in outcomes]
+            )
+            depth = 0
+            for _, delta in events:
+                depth += delta
+                assert depth <= policy.max_batch
+
+    def test_continuous_burst_is_exact_pipeline_arithmetic(self):
+        """N simultaneous arrivals: last finish == fill + (N-1) * step."""
+        profile = ServiceProfile(fpga_s=2e-3, host_s=1e-3)
+        policy = BatchPolicy(max_batch=64, max_wait_s=1.0)
+        engine = EventDrivenSimulator(profile, policy, continuous=True)
+        n = 9
+        report = engine.run([EventRequest(i, 0.0) for i in range(n)])
+        finishes = sorted(o.finish_s for o in report.outcomes)
+        # The engine applies finish = prev + step sequentially; pin the
+        # exact same accumulation, not the algebraically equal product.
+        expected = profile.fill_s
+        assert finishes[0] == expected
+        for k in range(1, n):
+            expected = expected + profile.step_s
+            assert finishes[k] == expected
+        assert finishes[-1] == pytest.approx(
+            profile.fill_s + (n - 1) * profile.step_s
+        )
+
+    def test_continuous_beats_windows_on_tail_latency(self):
+        """The point of continuous batching: stragglers stop waiting."""
+        profile = ServiceProfile(fpga_s=2e-3, host_s=1e-3)
+        policy = BatchPolicy(max_batch=8, max_wait_s=5e-3)
+        arrivals = np.arange(32) * 1e-3
+        requests = [EventRequest(i, float(t)) for i, t in enumerate(arrivals)]
+        windows = EventDrivenSimulator(profile, policy).run(requests)
+        continuous = EventDrivenSimulator(
+            profile, policy, continuous=True
+        ).run(requests)
+        assert (
+            continuous.stats.p99_latency_s <= windows.stats.p99_latency_s
+        )
+
+    def test_duplicate_request_ids_rejected(self):
+        profile = ServiceProfile(fpga_s=1e-3, host_s=1e-3)
+        engine = EventDrivenSimulator(profile, BatchPolicy())
+        with pytest.raises(ValueError, match="unique"):
+            engine.run([EventRequest(0, 0.0), EventRequest(0, 1.0)])
+
+    def test_unknown_slo_class_rejected(self):
+        profile = ServiceProfile(fpga_s=1e-3, host_s=1e-3)
+        engine = EventDrivenSimulator(profile, BatchPolicy())
+        with pytest.raises(ValueError, match="unknown SLO class"):
+            engine.run([EventRequest(0, 0.0, slo="nope")])
+
+
+# ---------------------------------------------------------------------------
+# fleet-scale report plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestReportModes:
+    def test_collect_records_false_keeps_aggregates_only(self):
+        profile = ServiceProfile(fpga_s=1e-3, host_s=1e-3)
+        policy = BatchPolicy(max_batch=4, max_wait_s=1e-3)
+        requests = [
+            EventRequest(i, i * 5e-4) for i in range(50)
+        ]
+        full = EventDrivenSimulator(profile, policy).run(requests)
+        lean_engine = EventDrivenSimulator(
+            profile, policy, collect_records=False
+        )
+        lean = lean_engine.run(requests)
+        assert lean.served == full.served == 50
+        assert lean.makespan_s == full.makespan_s
+        assert lean.outcomes == ()
+        assert lean.batches == ()
+        with pytest.raises(ValueError, match="collect_records"):
+            _ = lean.stats
+
+    def test_run_trace_equals_run(self):
+        from repro.serve import poisson_trace
+
+        profile = ServiceProfile(fpga_s=1e-3, host_s=1e-3)
+        policy = BatchPolicy(max_batch=4, max_wait_s=1e-3)
+        trace = poisson_trace(40, 800.0, seed=5)
+        engine = EventDrivenSimulator(profile, policy)
+        via_trace = engine.run_trace(trace)
+        via_requests = EventDrivenSimulator(profile, policy).run(
+            [
+                EventRequest(i, float(t))
+                for i, t in enumerate(trace.arrivals)
+            ]
+        )
+        assert via_trace.outcomes == via_requests.outcomes

@@ -35,7 +35,6 @@ from repro.serve import (
     build_worker_pool,
     make_requests,
 )
-from repro.serve.cache import CacheInfo
 from repro.telemetry import Telemetry, activate, parse_jsonl, validate_snapshot
 
 # The cache families that register themselves at import time; serve.deploy
@@ -245,11 +244,52 @@ class TestDeprecatedShims:
         deployed.simulate()  # hit
         info = sim_cache_info()
         assert info.name == "hw.sim"
-        assert sim_cache_stats() == (info.hits, info.misses)
+        with pytest.warns(DeprecationWarning, match="sim_cache_info"):
+            assert sim_cache_stats() == (info.hits, info.misses)
         assert info.hits >= 1 and info.misses >= 1
 
-    def test_cache_info_alias(self):
-        assert CacheInfo is CacheStats
+    def test_sim_cache_stats_mirrors_cachestats_protocol(self, served_model):
+        """The tuple shim is a strict projection of the CacheStats record."""
+        pipeline, specs = served_model
+        clear_sim_cache()
+        deploy(pipeline, specs).simulate()
+        info = sim_cache_info()
+        assert isinstance(info, CacheStats)
+        assert set(info.as_dict()) >= {
+            "hits", "misses", "evictions", "size", "capacity", "name",
+            "hit_rate",
+        }
+        with pytest.warns(DeprecationWarning):
+            shim = sim_cache_stats()
+        assert shim == (info.hits, info.misses)
+
+    def test_cache_info_alias_warns_and_matches(self):
+        import repro.serve.cache as serve_cache
+
+        with pytest.warns(DeprecationWarning, match="CacheStats"):
+            alias = serve_cache.CacheInfo
+        assert alias is CacheStats
+        # Field order matches the historical CacheInfo record exactly.
+        from dataclasses import fields
+
+        names = [f.name for f in fields(CacheStats)]
+        assert names[:5] == ["hits", "misses", "evictions", "size", "capacity"]
+
+    def test_cache_info_importable_from_package(self):
+        import repro.serve as serve
+
+        with pytest.warns(DeprecationWarning):
+            alias = serve.CacheInfo
+        assert alias is CacheStats
+
+    def test_plain_imports_do_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            import repro.serve  # noqa: F401
+            import repro.serve.cache  # noqa: F401
+            from repro.hw.accelerator import sim_cache_info  # noqa: F401
 
 
 class TestCLI:
