@@ -30,11 +30,17 @@ from repro.core import (
     abm_conv2d,
     abm_conv2d_reference,
     abm_conv2d_vectorized,
+    clear_model_plan_cache,
     clear_plan_cache,
     compile_layer_plan,
+    compile_model_plan,
     encode_layer,
 )
+from repro.core import tiers
 from repro.core.specs import conv_spec
+from repro.nn.models.alexnet import alexnet_architecture
+from repro.nn.models.vgg16 import vgg16_architecture
+from repro.pipeline import QuantizedPipeline
 from repro.telemetry import Telemetry, activate
 from repro.workloads import synthesize_quantized_layer, synthetic_feature_codes
 
@@ -229,3 +235,118 @@ def test_bench_compiled_real_layers():
     # Quick mode times only the smallest layer on shared CI hardware; the
     # full run must clear the ISSUE's 5x bar on at least one real layer.
     assert best >= (2.0 if QUICK else 5.0), f"best speedup {best}x"
+
+
+# Channel/spatial-scaled AlexNet and VGG16 for end-to-end timing: same
+# layer mix and depth as the paper's models at a size the numpy functional
+# simulation can sweep in seconds: (scale, spatial_scale, batch).
+MODEL_CONFIGS = {
+    "alexnet": (0.25, 0.25, 4),
+    "vgg16": (0.25, 0.125, 4),
+}
+
+
+def _build_model(name):
+    arch = alexnet_architecture() if name == "alexnet" else vgg16_architecture()
+    scale, spatial_scale, batch = MODEL_CONFIGS[name]
+    network = arch.build(scale=scale, spatial_scale=spatial_scale, seed=11)
+    pipeline = QuantizedPipeline(network)
+    rng = np.random.default_rng(11)
+    pipeline.calibrate(rng.standard_normal(network.input_shape.as_tuple()))
+    pipeline.quantize()
+    images = rng.standard_normal((batch,) + network.input_shape.as_tuple())
+    return pipeline, images
+
+
+def test_bench_model_end_to_end():
+    """Per-layer vs fused vs fused+numba on whole AlexNet/VGG16 networks.
+
+    Times `run_batch_reference` (per-layer streaming), `run_batch` (the
+    fused model plan on the pure-numpy tier) and, when numba is
+    installed, the fused plan on the compiled tier — asserting fused
+    outputs stay bit-exact against the reference — then merges a
+    ``models`` section into BENCH_kernels.json.  The headline acceptance:
+    fused pure-numpy execution beats the per-layer path by >= 3x on
+    VGG16 (>= 1.5x in quick mode on shared CI hardware).
+    """
+    repeats = 2 if QUICK else 5
+    previous_tier = tiers.set_tier("numpy")
+    rows = {}
+    print()
+    try:
+        for name in MODEL_CONFIGS:
+            pipeline, images = _build_model(name)
+
+            clear_model_plan_cache()
+            start = time.perf_counter()
+            plan = compile_model_plan(pipeline, images.shape)
+            fuse_s = time.perf_counter() - start
+
+            fused = pipeline.run_batch(images)
+            reference = pipeline.run_batch_reference(images)
+            for f, r in zip(fused, reference):
+                assert np.array_equal(f.output, r.output)
+                assert f.total_ops == r.total_ops
+
+            fused_s = _best_of(lambda: pipeline.run_batch(images), repeats)
+            per_layer_s = _best_of(
+                lambda: pipeline.run_batch_reference(images), max(1, repeats - 2)
+            )
+            fused_numba_s = None
+            if tiers.numba_available():
+                tiers.set_tier("numba")
+                try:
+                    numba_out = pipeline.run_batch(images)  # warm: JIT compile
+                    for f, r in zip(numba_out, reference):
+                        assert np.array_equal(f.output, r.output)
+                    fused_numba_s = _best_of(
+                        lambda: pipeline.run_batch(images), repeats
+                    )
+                finally:
+                    tiers.set_tier("numpy")
+
+            batch = images.shape[0]
+            scale, spatial_scale, _ = MODEL_CONFIGS[name]
+            rows[name] = {
+                "scale": scale,
+                "spatial_scale": spatial_scale,
+                "batch": batch,
+                "plan": plan.describe(),
+                "fuse_compile_s": round(fuse_s, 6),
+                "per_layer_s": round(per_layer_s, 6),
+                "fused_s": round(fused_s, 6),
+                "fused_numba_s": (
+                    round(fused_numba_s, 6) if fused_numba_s is not None else None
+                ),
+                "images_per_s_fused": round(batch / fused_s, 2),
+                "speedup_fused": round(per_layer_s / fused_s, 2),
+                "speedup_fused_numba": (
+                    round(per_layer_s / fused_numba_s, 2)
+                    if fused_numba_s is not None
+                    else None
+                ),
+            }
+            numba_ms = (
+                f"{fused_numba_s * 1e3:8.2f} ms" if fused_numba_s is not None else "     n/a"
+            )
+            print(
+                f"  {name:<8} per-layer {per_layer_s * 1e3:8.2f} ms  "
+                f"fused {fused_s * 1e3:8.2f} ms "
+                f"({rows[name]['speedup_fused']:5.2f}x)  "
+                f"fused+numba {numba_ms}  fuse-compile {fuse_s * 1e3:6.2f} ms"
+            )
+    finally:
+        tiers.set_tier(previous_tier)
+
+    report = json.loads(ARTIFACT.read_text()) if ARTIFACT.exists() else {
+        "generated_by": "benchmarks/bench_kernels.py",
+        "quick": QUICK,
+        "layers": {},
+    }
+    report["models"] = rows
+    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"  wrote {ARTIFACT}")
+
+    assert rows["vgg16"]["speedup_fused"] >= (1.5 if QUICK else 3.0), (
+        f"vgg16 fused speedup {rows['vgg16']['speedup_fused']}x"
+    )

@@ -9,6 +9,9 @@
 - :mod:`~repro.core.specs` — analytic layer dimension records.
 - :mod:`~repro.core.schemes` — scheme taxonomy and computational roofs
   (Figure 1).
+- :mod:`~repro.core.model_plan` — whole-network fused streaming execution
+  (conv/FC + epilogue stages over ping-pong activation buffers).
+- :mod:`~repro.core.tiers` — numpy / numba execution-tier selection.
 """
 
 from .abm import (
@@ -45,6 +48,20 @@ from .plan import (
     plan_cache_stats,
     compile_layer_plan,
     plan_cache_size,
+)
+from .model_plan import (
+    ModelPlan,
+    clear_model_plan_cache,
+    compile_model_plan,
+    model_plan_cache_size,
+    model_plan_cache_stats,
+)
+from .tiers import (
+    TIERS,
+    get_tier,
+    numba_available,
+    resolve_tier,
+    set_tier,
 )
 from .opcount import (
     FDCONV_REDUCTION,
@@ -111,6 +128,16 @@ __all__ = [
     "clear_plan_cache",
     "plan_cache_stats",
     "plan_cache_size",
+    "ModelPlan",
+    "compile_model_plan",
+    "clear_model_plan_cache",
+    "model_plan_cache_stats",
+    "model_plan_cache_size",
+    "TIERS",
+    "get_tier",
+    "set_tier",
+    "resolve_tier",
+    "numba_available",
     "FDCONV_REDUCTION",
     "LayerOpCounts",
     "ModelOpCounts",

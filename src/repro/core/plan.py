@@ -47,6 +47,7 @@ import numpy as np
 
 from ..telemetry.caches import CacheStats, register_cache
 from ..telemetry.context import get_active
+from . import tiers
 from .encoding import EncodedLayer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle with repro.core.abm
@@ -112,6 +113,8 @@ class _GroupPlan:
         "kcol_bounds",
         "kseg_bounds",
         "_selection",
+        "_numba_args",
+        "_dense",
     )
 
     def __init__(
@@ -130,6 +133,49 @@ class _GroupPlan:
         self.kcol_bounds = kcol_bounds
         self.kseg_bounds = kseg_bounds
         self._selection: Dict[str, object] = {}
+        self._numba_args: Optional[Tuple[np.ndarray, ...]] = None
+        self._dense: Optional[np.ndarray] = None
+
+    def numba_args(self) -> Tuple[np.ndarray, ...]:
+        """The int64 argument tuple of the numba group kernel (built once).
+
+        ``seg_bounds`` extends ``seg_starts`` with the column count so the
+        kernel can walk every segment's half-open column range directly.
+        """
+        if self._numba_args is None:
+            seg_bounds = np.empty(len(self.seg_starts) + 1, dtype=np.int64)
+            seg_bounds[:-1] = self.seg_starts
+            seg_bounds[-1] = self.columns.size
+            self._numba_args = (
+                self.columns.astype(np.int64),
+                seg_bounds,
+                self.seg_values.astype(np.int64),
+                self.kseg_bounds.astype(np.int64),
+                self.kernel_rows.astype(np.int64),
+            )
+        return self._numba_args
+
+    def dense_weights(self, group_out: int, patch_width: int) -> np.ndarray:
+        """The group's weight codes as a dense float64 (group_out, K) matrix.
+
+        Scattered straight from the CSR stream (one weight per (kernel,
+        column) pair) and cached on the group — the fused model plan's GEMM
+        datapath multiplies it against float64 patches with BLAS.  Weight
+        codes are small integers, so every entry is exactly representable.
+        """
+        if self._dense is None:
+            dense = np.zeros((group_out, patch_width), dtype=np.float64)
+            if self.columns.size:
+                seg_bounds = np.empty(len(self.seg_starts) + 1, dtype=np.int64)
+                seg_bounds[:-1] = self.seg_starts
+                seg_bounds[-1] = self.columns.size
+                seg_lengths = np.diff(seg_bounds)
+                seg_rows = np.repeat(self.kernel_rows, np.diff(self.kseg_bounds))
+                dense[
+                    np.repeat(seg_rows, seg_lengths), self.columns
+                ] = np.repeat(self.seg_values, seg_lengths)
+            self._dense = dense
+        return self._dense
 
     def selection_matrix(self, dtype, patch_width: int):
         """The stage-1 accumulate as a CSR selection matrix (scipy path).
@@ -280,15 +326,22 @@ class LayerPlan:
 
     # ---- execution -------------------------------------------------------
 
-    def _work_dtype(self, features: np.ndarray):
+    def _work_dtype(self, features: np.ndarray, input_peak: Optional[int] = None):
         """int32 when the exact worst-case datapath value fits, else int64.
 
         The bound is |partial| <= max|x| * max_kernel sum(|VAL|*NUM), which
         also bounds every stage-2 total; bias enters later in int64.
+        ``input_peak`` lets callers that already know a bound on ``max|x|``
+        (the fused model plan tracks quantized-format code ranges at
+        compile time) skip the full-batch ``abs().max()`` scan.
         """
-        if features.size == 0 or self._max_weighted_sum == 0:
+        if self._max_weighted_sum == 0:
             return np.int32
-        peak = int(np.abs(features).max()) * self._max_weighted_sum
+        if input_peak is None:
+            if features.size == 0:
+                return np.int32
+            input_peak = int(np.abs(features).max())
+        peak = int(input_peak) * self._max_weighted_sum
         return np.int32 if peak <= np.iinfo(np.int32).max else np.int64
 
     def execute(
@@ -304,6 +357,7 @@ class LayerPlan:
         self,
         batch: np.ndarray,
         bias_codes: Optional[np.ndarray] = None,
+        input_peak: Optional[int] = None,
     ) -> Tuple[np.ndarray, int, int]:
         """Run a (B, C, H, W) batch stacked into the pixel axis.
 
@@ -312,44 +366,20 @@ class LayerPlan:
         """
         telemetry = get_active()
         if telemetry is None:
-            return self._execute_batch(batch, bias_codes)
+            return self._execute_batch(batch, bias_codes, input_peak)
         with telemetry.span("kernel", layer=self.name, images=int(batch.shape[0])):
-            return self._execute_batch(batch, bias_codes)
+            return self._execute_batch(batch, bias_codes, input_peak)
 
     def _execute_batch(
         self,
         batch: np.ndarray,
         bias_codes: Optional[np.ndarray] = None,
+        input_peak: Optional[int] = None,
     ) -> Tuple[np.ndarray, int, int]:
-        geometry = self.geometry
-        images, channels, rows, cols = batch.shape
-        if self.group_in and channels != self.group_in * geometry.groups:
-            raise ValueError(
-                f"layer {self.name!r} expects {self.group_in * geometry.groups} "
-                f"input channels, got {channels}"
-            )
-        out_rows, out_cols = _conv_output_hw(rows, cols, geometry)
-        pixels = out_rows * out_cols
-        total_pixels = images * pixels
-        work_dtype = self._work_dtype(batch)
-        output = self._buffer("output", (self.out_channels, total_pixels), np.int64)
-        output.fill(0)
-        if batch.dtype != work_dtype:
-            cast = self._buffer("cast", batch.shape, work_dtype)
-            np.copyto(cast, batch)
-        else:
-            cast = batch
-        for g, plan in enumerate(self._groups):
-            patches_t = self._patches_t(cast, g, out_rows, out_cols, work_dtype)
-            self._execute_group(
-                g,
-                plan,
-                patches_t,
-                output[g * self.group_out : (g + 1) * self.group_out],
-                work_dtype,
-            )
-        if bias_codes is not None:
-            output += np.asarray(bias_codes, dtype=np.int64)[:, None]
+        output, images, out_rows, out_cols = self.execute_batch_raw(
+            batch, bias_codes, input_peak
+        )
+        total_pixels = images * out_rows * out_cols
         # .copy() detaches the result from the reusable scratch buffer.
         shaped = (
             output.reshape(self.out_channels, images, out_rows, out_cols)
@@ -361,6 +391,103 @@ class LayerPlan:
             self.accumulates_per_pixel * total_pixels,
             self.multiplies_per_pixel * total_pixels,
         )
+
+    def execute_batch_raw(
+        self,
+        batch: np.ndarray,
+        bias_codes: Optional[np.ndarray] = None,
+        input_peak: Optional[int] = None,
+    ) -> Tuple[np.ndarray, int, int, int]:
+        """Run a batch and return the undetached (M, B*pixels) int64 sums.
+
+        Returns ``(output, images, out_rows, out_cols)`` where ``output``
+        is **plan-owned scratch** (kernel-major, bias already added): it is
+        only valid until the next execute call on this plan.  The fused
+        model plan consumes it directly — epilogue fusion writes requantized
+        codes straight into the model's ping-pong buffers, so no per-layer
+        output is materialized.  Op counts are analytic:
+        ``accumulates_per_pixel * images * out_rows * out_cols`` (likewise
+        multiplies), identical to what :meth:`execute_batch` reports.
+        """
+        geometry = self.geometry
+        images, channels, rows, cols = batch.shape
+        if self.group_in and channels != self.group_in * geometry.groups:
+            raise ValueError(
+                f"layer {self.name!r} expects {self.group_in * geometry.groups} "
+                f"input channels, got {channels}"
+            )
+        out_rows, out_cols = _conv_output_hw(rows, cols, geometry)
+        pixels = out_rows * out_cols
+        total_pixels = images * pixels
+        work_dtype = self._work_dtype(batch, input_peak)
+        output = self._buffer("output", (self.out_channels, total_pixels), np.int64)
+        output.fill(0)
+        # No full-batch cast pass: _patches_t's copies convert to the work
+        # dtype on the fly while laying out the patch matrix.
+        for g, plan in enumerate(self._groups):
+            patches_t = self._patches_t(batch, g, out_rows, out_cols, work_dtype)
+            self._execute_group(
+                g,
+                plan,
+                patches_t,
+                output[g * self.group_out : (g + 1) * self.group_out],
+                work_dtype,
+            )
+        if bias_codes is not None:
+            output += np.asarray(bias_codes, dtype=np.int64)[:, None]
+        return output, images, out_rows, out_cols
+
+    @property
+    def max_weighted_sum(self) -> int:
+        """Worst-case |output sum| per unit of input magnitude.
+
+        The exact per-kernel bound max_k sum(|VAL| * NUM): multiplied by a
+        bound on |x| it bounds every stage-1 partial, every stage-2 total
+        and every GEMM prefix sum.  It licenses int32 execution (vs int64)
+        and, against 2**53, the fused plan's exact float64 GEMM datapath.
+        """
+        return self._max_weighted_sum
+
+    def execute_batch_gemm(
+        self,
+        batch: np.ndarray,
+        bias_codes: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, int, int, int]:
+        """Run a batch as one dense float64 GEMM per group (BLAS).
+
+        Returns ``(output, images, out_rows, out_cols)`` where ``output``
+        is **plan-owned float64 scratch** of shape (M, B*pixels), bias
+        already added.  Bit-exact against :meth:`execute_batch_raw`
+        *provided the caller has checked the exactness bound*
+        ``input_peak * max_weighted_sum + max|bias| < 2**53``: weight and
+        feature codes are exact small integers in float64, every product
+        and every partial sum (in any summation order BLAS picks) is then
+        an exact integer below 2**53, so the accumulated result equals the
+        integer ABM sum term for term.  The fused model plan verifies the
+        bound at compile time from tracked quantized-format ranges.
+        """
+        geometry = self.geometry
+        images, channels, rows, cols = batch.shape
+        if self.group_in and channels != self.group_in * geometry.groups:
+            raise ValueError(
+                f"layer {self.name!r} expects {self.group_in * geometry.groups} "
+                f"input channels, got {channels}"
+            )
+        out_rows, out_cols = _conv_output_hw(rows, cols, geometry)
+        total_pixels = images * out_rows * out_cols
+        output = self._buffer(
+            "output_f", (self.out_channels, total_pixels), np.float64
+        )
+        for g, plan in enumerate(self._groups):
+            patches_t = self._patches_t(batch, g, out_rows, out_cols, np.float64)
+            np.matmul(
+                plan.dense_weights(self.group_out, self.patch_width),
+                patches_t,
+                out=output[g * self.group_out : (g + 1) * self.group_out],
+            )
+        if bias_codes is not None:
+            output += np.asarray(bias_codes, dtype=np.float64)[:, None]
+        return output, images, out_rows, out_cols
 
     def _patches_t(
         self,
@@ -391,22 +518,27 @@ class LayerPlan:
             np.copyto(patches, batch[:, lo:hi].reshape(images, width).T)
             return patches
         k = geometry.kernel
-        stage = self._buffer(("stage_t", group), (width, pixels), work_dtype)
-        stage_5d = stage.reshape(self.group_in, k, k, out_rows, out_cols)
-        for i in range(images):
-            features = batch[i, lo:hi]
-            if geometry.padding:
-                features = np.pad(
-                    features,
-                    ((0, 0), (geometry.padding,) * 2, (geometry.padding,) * 2),
-                    mode="constant",
-                )
-            windows = np.lib.stride_tricks.sliding_window_view(
-                features, (k, k), axis=(1, 2)
-            )[:, :: geometry.stride, :: geometry.stride][:, :out_rows, :out_cols]
-            # (C, R', C', K, K) -> (C, K, K, R', C'): row-major (n, k, k').
-            np.copyto(stage_5d, windows.transpose(0, 3, 4, 1, 2))
-            patches[:, i * pixels : (i + 1) * pixels] = stage
+        pad = geometry.padding
+        if pad:
+            padded = self._buffer(
+                ("padded", group),
+                (images, self.group_in, batch.shape[2] + 2 * pad, batch.shape[3] + 2 * pad),
+                batch.dtype.str,
+            )
+            padded.fill(0)
+            padded[:, :, pad:-pad, pad:-pad] = batch[:, lo:hi]
+        else:
+            padded = batch[:, lo:hi]
+        windows = np.lib.stride_tricks.sliding_window_view(
+            padded, (k, k), axis=(2, 3)
+        )[:, :, :: geometry.stride, :: geometry.stride][:, :, :out_rows, :out_cols]
+        # (B, C, R', C', K, K) -> (C, K, K, B, R', C'): row-major (n, k, k')
+        # over image-major pixel columns, in one strided pass.
+        np.copyto(
+            patches.reshape(self.group_in, k, k, images, out_rows, out_cols),
+            windows.transpose(1, 4, 5, 0, 2, 3),
+            casting="same_kind",
+        )
         return patches
 
     def _chunks(self, group_index: int, plan: _GroupPlan, pixels: int) -> List[_Chunk]:
@@ -439,6 +571,22 @@ class LayerPlan:
     ) -> None:
         if plan.columns.size == 0:
             return
+        if tiers.numba_active():
+            kernel = tiers.group_kernel()
+            if kernel is not None:  # pragma: no cover - needs numba installed
+                columns, seg_bounds, seg_values, kseg_bounds, kernel_rows = (
+                    plan.numba_args()
+                )
+                kernel(
+                    patches_t,
+                    columns,
+                    seg_bounds,
+                    seg_values,
+                    kseg_bounds,
+                    kernel_rows,
+                    out,
+                )
+                return
         if _sparse_enabled:
             self._execute_group_sparse(plan, patches_t, out, work_dtype)
         else:

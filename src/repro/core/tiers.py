@@ -1,0 +1,158 @@
+"""Execution-tier selection for the compiled ABM kernels.
+
+The repo ships two tiers for the plan's inner loops:
+
+- ``numpy`` — the portable tier: scipy's sparse selection product when
+  scipy is installed, the chunked gather + ``np.add.reduceat`` fallback
+  otherwise.  Always available; the correctness baseline.
+- ``numba`` — an optional JIT tier that compiles the per-group
+  accumulate-before-multiply walk (the gather + two segmented reductions)
+  into one fused native loop nest.  Used only when numba is importable
+  *and* its kernel compiles; any failure silently resolves back to the
+  numpy tier, so the ``fast`` extra stays optional.
+
+Selection is process-wide: the ``ABM_SPCONV_TIER`` environment variable
+(``auto`` / ``numpy`` / ``numba``) seeds the choice at import, the CLI's
+``--tier`` flag and :func:`set_tier` override it at run time, and
+:func:`resolve_tier` answers what will actually execute.  ``auto`` means
+"numba when it works, numpy otherwise".
+
+The numba kernel is numerically identical to the numpy paths: all three
+compute the same exact integer sums (addition is associative and
+commutative on ints; no rounding happens before the Sum/Round stage), a
+property pinned by the differential suites in ``tests/test_abm_compiled.py``
+and ``tests/test_model_fused.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Optional
+
+TIERS = ("auto", "numpy", "numba")
+
+try:  # numba is optional: the pure-numpy tier is always available.
+    import numba as _numba
+except ImportError:  # pragma: no cover - exercised on numba-less installs
+    _numba = None
+
+_requested = "auto"
+_group_kernel = None
+_kernel_failed = False
+
+
+def numba_available() -> bool:
+    """True when the numba package is importable."""
+    return _numba is not None
+
+
+def set_tier(tier: str) -> str:
+    """Select the execution tier; returns the previous request.
+
+    Requesting ``numba`` without numba installed is not an error — the
+    request sticks but :func:`resolve_tier` keeps answering ``numpy`` (the
+    fallback is mandatory), with a one-time warning.
+    """
+    global _requested
+    if tier not in TIERS:
+        raise ValueError(f"unknown tier {tier!r}; expected one of {TIERS}")
+    previous = _requested
+    if tier == "numba" and _numba is None:
+        warnings.warn(
+            "ABM_SPCONV_TIER=numba requested but numba is not installed; "
+            "falling back to the numpy tier",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    _requested = tier
+    return previous
+
+
+def get_tier() -> str:
+    """The requested tier (``auto`` / ``numpy`` / ``numba``)."""
+    return _requested
+
+
+def resolve_tier() -> str:
+    """The tier that will actually execute: ``numpy`` or ``numba``."""
+    if _requested == "numpy" or _numba is None or _kernel_failed:
+        return "numpy"
+    return "numba" if group_kernel() is not None else "numpy"
+
+
+def numba_active() -> bool:
+    """True when plan execution should dispatch to the numba kernel."""
+    return resolve_tier() == "numba"
+
+
+def _build_group_kernel():  # pragma: no cover - needs numba installed
+    """Compile the per-group ABM kernel (once per process).
+
+    Semantics mirror :meth:`repro.core.plan.LayerPlan._execute_group_gather`
+    exactly: for every kernel's run of Q-Table segments, accumulate the
+    WT-Buffer-indexed feature rows and weight each segment's partial sum by
+    its VAL.  ``sum_c v * x_c == v * sum_c x_c`` holds exactly in integer
+    arithmetic, and the int64 accumulator bounds every prefix sum by the
+    plan's worst-case datapath value, so fusing the multiply into the walk
+    changes nothing numerically.
+    """
+
+    @_numba.njit(parallel=True, nogil=True, cache=False)
+    def group_kernel(patches_t, columns, seg_bounds, seg_values, kseg_bounds, kernel_rows, out):
+        pixels = patches_t.shape[1]
+        n_kernels = kernel_rows.shape[0]
+        for k in _numba.prange(n_kernels):
+            row = kernel_rows[k]
+            for s in range(kseg_bounds[k], kseg_bounds[k + 1]):
+                value = seg_values[s]
+                for c in range(seg_bounds[s], seg_bounds[s + 1]):
+                    col = columns[c]
+                    for p in range(pixels):
+                        out[row, p] += value * patches_t[col, p]
+
+    return group_kernel
+
+
+def group_kernel():
+    """The compiled numba group kernel, or ``None`` when unavailable.
+
+    Compilation happens lazily on first use; a failure (old numba, broken
+    toolchain) is recorded so every later call resolves to the numpy tier
+    without retrying.
+    """
+    global _group_kernel, _kernel_failed
+    if _numba is None or _kernel_failed:
+        return None
+    if _group_kernel is None:
+        try:  # pragma: no cover - needs numba installed
+            _group_kernel = _build_group_kernel()
+        except Exception:  # pragma: no cover - defensive: fallback mandatory
+            _kernel_failed = True
+            warnings.warn(
+                "numba group-kernel compilation failed; using the numpy tier",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+    return _group_kernel
+
+
+def _tier_from_env() -> Optional[str]:
+    value = os.environ.get("ABM_SPCONV_TIER")
+    if value is None:
+        return None
+    value = value.strip().lower()
+    if value not in TIERS:
+        warnings.warn(
+            f"ignoring unknown ABM_SPCONV_TIER={value!r} "
+            f"(expected one of {TIERS})",
+            RuntimeWarning,
+        )
+        return None
+    return value
+
+
+_env_tier = _tier_from_env()
+if _env_tier is not None:
+    set_tier(_env_tier)

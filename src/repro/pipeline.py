@@ -108,6 +108,28 @@ class QuantizedPipeline:
         self.output_fmts: Dict[str, QFormat] = {}
         self.compiled: Dict[str, CompiledLayer] = {}
         self._calibrated = False
+        self._quantization_token = 0
+
+    @property
+    def quantization_token(self) -> int:
+        """Monotonic counter bumped by every prune/calibrate/quantize.
+
+        The fused model-plan cache keys on (pipeline identity, this token,
+        batch geometry), so re-quantizing a pipeline invalidates its fused
+        plans without any explicit cache management.
+        """
+        return self._quantization_token
+
+    def _check_ready(self, action: str) -> None:
+        """Raise a step-specific error when the flow is incomplete."""
+        if self.input_fmt is None:
+            raise RuntimeError(
+                f"pipeline is not calibrated: call calibrate() before {action}"
+            )
+        if not self.compiled:
+            raise RuntimeError(
+                f"pipeline is not quantized: call quantize() before {action}"
+            )
 
     # ---- flow stages ---------------------------------------------------
 
@@ -115,6 +137,7 @@ class QuantizedPipeline:
         """Magnitude-prune the float network in place."""
         prune_network(self.network, densities)
         self.compiled.clear()  # stale encodings, if any
+        self._quantization_token += 1
         return self
 
     def calibrate(
@@ -144,6 +167,7 @@ class QuantizedPipeline:
             )
             shape = layer.output_shape(shape)
         self._calibrated = True
+        self._quantization_token += 1
         return self
 
     def quantize(self) -> "QuantizedPipeline":
@@ -171,6 +195,7 @@ class QuantizedPipeline:
                 self._compile(
                     layer.name, codes, ConvGeometry(kernel=1), weight_fmt, layer.bias, True
                 )
+        self._quantization_token += 1
         return self
 
     def _shared_weights(self, weights: np.ndarray) -> np.ndarray:
@@ -210,8 +235,7 @@ class QuantizedPipeline:
 
     def run(self, image: np.ndarray) -> InferenceResult:
         """Quantized inference with ABM-SpConv on all conv/FC layers."""
-        if self.input_fmt is None or not self.compiled:
-            raise RuntimeError("pipeline must be calibrated and quantized first")
+        self._check_ready("run()")
         codes = self.input_fmt.quantize(np.asarray(image))
         fmt = self.input_fmt
         stats: List[LayerRunStats] = []
@@ -272,23 +296,64 @@ class QuantizedPipeline:
             return out_fmt.quantize(real), out_fmt, None
         raise TypeError(f"pipeline cannot execute layer {layer!r}")
 
-    def run_batch(self, images: np.ndarray) -> List[InferenceResult]:
-        """Batched quantized inference, bit-exact against per-image run().
-
-        ``images`` is a (B, C, H, W) array or a sequence of CHW images. The
-        whole batch flows through every layer as one array — accelerated
-        layers stack the batch into the ABM plan's pixel axis — and the
-        result is one :class:`InferenceResult` per image, with each image
-        carrying its exact per-image share of the layer op counts (counts
-        are per-pixel constants, so the share is exact).
-        """
-        if self.input_fmt is None or not self.compiled:
-            raise RuntimeError("pipeline must be calibrated and quantized first")
+    def _as_bchw(self, images: np.ndarray) -> np.ndarray:
         batch = np.asarray(images)
         if batch.ndim == 3:
             batch = batch[None]
         if batch.ndim != 4:
             raise ValueError(f"expected a BCHW batch, got shape {batch.shape}")
+        return batch
+
+    def run_batch(self, images: np.ndarray) -> List[InferenceResult]:
+        """Batched quantized inference through the fused model plan.
+
+        ``images`` is a (B, C, H, W) array or a sequence of CHW images.
+        The network is compiled (once per batch geometry, LRU-cached) into
+        a streaming :class:`repro.core.model_plan.ModelPlan` that fuses
+        each conv/FC with its epilogue and threads activations through two
+        preallocated ping-pong buffers — bit-exact against
+        :meth:`run_batch_reference`, the retained per-layer path (outputs
+        *and* op counts; the differential suite in
+        ``tests/test_model_fused.py`` pins this).  The result is one
+        :class:`InferenceResult` per image, each carrying its exact
+        per-image share of the layer op counts (counts are per-pixel
+        constants, so the share is exact).
+        """
+        from .core.model_plan import compile_model_plan
+
+        self._check_ready("run_batch()")
+        batch = self._as_bchw(images)
+        b = batch.shape[0]
+        plan = compile_model_plan(self, batch.shape)
+        codes = self.input_fmt.quantize(batch)
+        out_codes, out_fmt = plan.run(codes)
+        outputs = out_fmt.dequantize(out_codes)
+        return [
+            InferenceResult(
+                output=outputs[i],
+                layer_stats=[
+                    LayerRunStats(
+                        name=name,
+                        accumulate_ops=acc // b,
+                        multiply_ops=mult // b,
+                    )
+                    for name, acc, mult in plan.layer_ops
+                ],
+            )
+            for i in range(b)
+        ]
+
+    def run_batch_reference(self, images: np.ndarray) -> List[InferenceResult]:
+        """Batched inference through the retained per-layer path.
+
+        The pre-fusion implementation: the whole batch flows layer by
+        layer, each accelerated layer stacking the batch into its ABM
+        plan's pixel axis.  Kept as the differential oracle for the fused
+        :meth:`run_batch` and for callers that want per-layer telemetry
+        spans.  Bit-exact, image-for-image, against per-image :meth:`run`.
+        """
+        self._check_ready("run_batch_reference()")
+        batch = self._as_bchw(images)
         b = batch.shape[0]
         codes = self.input_fmt.quantize(batch)
         fmt = self.input_fmt

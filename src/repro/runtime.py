@@ -151,12 +151,14 @@ class SystemRuntime:
         )
 
     def infer_batch(self, images: Sequence[np.ndarray]) -> List[RuntimeOutcome]:
-        """Run a batch through the pipeline's batched path in one pass.
+        """Run a batch through the pipeline's fused streaming path in one pass.
 
         Numerically identical, image-for-image, to calling :meth:`infer` on
-        each image — the batch is stacked into the ABM plans' pixel axis
-        instead of looping Python-side. Timing attribution per image is the
-        same as :meth:`infer` (the simulator's per-image estimate).
+        each image — the batch flows through the fused
+        :class:`repro.core.model_plan.ModelPlan` (conv/FC + epilogue stages
+        over ping-pong activation buffers) instead of looping layers
+        Python-side. Timing attribution per image is the same as
+        :meth:`infer` (the simulator's per-image estimate).
         """
         if len(images) == 0:
             raise ValueError("batch must contain at least one image")

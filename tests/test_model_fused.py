@@ -1,0 +1,448 @@
+"""Differential tests of the fused model plan (repro.core.model_plan).
+
+The fused streaming path must be *bit-exact* against the retained
+per-layer reference — same outputs, same per-image op counts — across
+the architecture space (groups, padding, strided convs, FC stacks,
+standalone and fused pooling, LRN/AvgPool host-layer splits), on both
+layer-plan execution backends and on every execution tier (the numpy
+tier always; the numba tier degrades to numpy when numba is absent,
+which is exactly the fallback this suite pins).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import model_plan as model_plan_module
+from repro.core import plan as plan_module
+from repro.core import tiers
+from repro.core.model_plan import (
+    MODEL_PLAN_CACHE_CAPACITY,
+    ModelPlan,
+    clear_model_plan_cache,
+    compile_model_plan,
+    model_plan_cache_size,
+    model_plan_cache_stats,
+)
+from repro.nn.models import (
+    Architecture,
+    ConvDef,
+    DropoutDef,
+    FCDef,
+    FlattenDef,
+    LRNDef,
+    PoolDef,
+    ReLUDef,
+    SoftmaxDef,
+)
+from repro.pipeline import QuantizedPipeline
+from repro.telemetry.context import Telemetry, activate
+
+BACKENDS = ["sparse", "fallback"]
+
+
+@pytest.fixture(params=BACKENDS)
+def exec_backend(request):
+    """Run the test body under each layer-plan execution backend."""
+    enabled = request.param == "sparse"
+    if enabled and plan_module._scipy_sparse is None:
+        pytest.skip("scipy unavailable")
+    previous = plan_module._set_sparse_enabled(enabled)
+    yield request.param
+    plan_module._set_sparse_enabled(previous)
+
+
+@pytest.fixture(autouse=True)
+def fresh_model_plan_cache():
+    clear_model_plan_cache()
+    yield
+    clear_model_plan_cache()
+
+
+def build_pipeline(arch: Architecture, rng: np.random.Generator) -> QuantizedPipeline:
+    network = arch.build(seed=7)
+    pipeline = QuantizedPipeline(network)
+    sample = rng.standard_normal(
+        (arch.input_channels, arch.input_rows, arch.input_cols)
+    )
+    pipeline.calibrate(sample)
+    pipeline.quantize()
+    return pipeline
+
+
+def assert_batches_identical(fused, reference):
+    assert len(fused) == len(reference)
+    for f, r in zip(fused, reference):
+        assert np.array_equal(f.output, r.output)
+        assert [(s.name, s.accumulate_ops, s.multiply_ops) for s in f.layer_stats] == [
+            (s.name, s.accumulate_ops, s.multiply_ops) for s in r.layer_stats
+        ]
+
+
+# ---- architecture space ---------------------------------------------------
+
+#: Fixed architectures covering every fusion shape the compiler can emit.
+ARCHITECTURES = {
+    "conv_relu_pool": Architecture(
+        name="crp",
+        input_channels=3,
+        input_rows=12,
+        input_cols=12,
+        defs=[
+            ConvDef("c1", 6, kernel=3, padding=1),
+            ReLUDef("r1"),
+            PoolDef("p1", kernel=2, stride=2),
+            FlattenDef("fl"),
+            FCDef("fc", 5, scale_output=False),
+            SoftmaxDef("sm"),
+        ],
+    ),
+    "grouped_strided": Architecture(
+        name="grp",
+        input_channels=4,
+        input_rows=11,
+        input_cols=11,
+        defs=[
+            ConvDef("c1", 8, kernel=3, stride=2, padding=2, groups=2),
+            ReLUDef("r1"),
+            ConvDef("c2", 6, kernel=1),
+            FlattenDef("fl"),
+            FCDef("fc", 4, scale_output=False),
+        ],
+    ),
+    # LRN and AvgPool split the integer stream onto the host float path,
+    # and the pool after LRN is *not* adjacent to a conv: standalone stage.
+    "host_split": Architecture(
+        name="host",
+        input_channels=3,
+        input_rows=13,
+        input_cols=13,
+        defs=[
+            ConvDef("c1", 6, kernel=3, padding=1),
+            ReLUDef("r1"),
+            LRNDef("lrn", local_size=3),
+            PoolDef("p1", kernel=3, stride=2),
+            ConvDef("c2", 8, kernel=3, padding=1),
+            PoolDef("p2", kernel=2, stride=2, kind="avg"),
+            FlattenDef("fl"),
+            FCDef("fc", 6, scale_output=False),
+            SoftmaxDef("sm"),
+        ],
+    ),
+    # Conv straight into pool (no ReLU between): the two-step peek-ahead.
+    "conv_pool_no_relu": Architecture(
+        name="cp",
+        input_channels=2,
+        input_rows=9,
+        input_cols=9,
+        defs=[
+            ConvDef("c1", 5, kernel=3),
+            PoolDef("p1", kernel=3, stride=3),
+            FlattenDef("fl"),
+            FCDef("fc", 3, scale_output=False),
+        ],
+    ),
+    # FC stack with dropout and a trailing standalone ReLU epilogue.
+    "fc_stack": Architecture(
+        name="fcs",
+        input_channels=4,
+        input_rows=8,
+        input_cols=8,
+        defs=[
+            FlattenDef("fl"),
+            FCDef("fc1", 16),
+            ReLUDef("r1"),
+            DropoutDef("do"),
+            FCDef("fc2", 8),
+            ReLUDef("r2"),
+            FCDef("fc3", 4, scale_output=False),
+            SoftmaxDef("sm"),
+        ],
+    ),
+}
+
+
+class TestDifferential:
+    """Fused plan vs per-layer reference across the architecture space."""
+
+    @pytest.mark.parametrize("arch_name", sorted(ARCHITECTURES))
+    @pytest.mark.parametrize("batch", [1, 3])
+    def test_architecture_sweep(self, rng, exec_backend, arch_name, batch):
+        arch = ARCHITECTURES[arch_name]
+        pipeline = build_pipeline(arch, rng)
+        images = rng.standard_normal(
+            (batch, arch.input_channels, arch.input_rows, arch.input_cols)
+        )
+        assert_batches_identical(
+            pipeline.run_batch(images), pipeline.run_batch_reference(images)
+        )
+
+    @pytest.mark.parametrize("arch_name", sorted(ARCHITECTURES))
+    def test_matches_per_image_run(self, rng, arch_name):
+        arch = ARCHITECTURES[arch_name]
+        pipeline = build_pipeline(arch, rng)
+        images = rng.standard_normal(
+            (2, arch.input_channels, arch.input_rows, arch.input_cols)
+        )
+        fused = pipeline.run_batch(images)
+        for i, result in enumerate(fused):
+            single = pipeline.run(images[i])
+            assert np.array_equal(result.output, single.output)
+            assert [
+                (s.name, s.accumulate_ops, s.multiply_ops)
+                for s in result.layer_stats
+            ] == [
+                (s.name, s.accumulate_ops, s.multiply_ops)
+                for s in single.layer_stats
+            ]
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        out1=st.integers(3, 8),
+        kernel=st.sampled_from([1, 3]),
+        stride=st.integers(1, 2),
+        padding=st.integers(0, 2),
+        groups=st.sampled_from([1, 2]),
+        pool_after=st.booleans(),
+        relu_after=st.booleans(),
+        host_layer=st.sampled_from([None, "lrn", "avg"]),
+        batch=st.integers(1, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_networks(
+        self,
+        seed,
+        out1,
+        kernel,
+        stride,
+        padding,
+        groups,
+        pool_after,
+        relu_after,
+        host_layer,
+        batch,
+    ):
+        """Randomized conv tower + host split + FC head, fused == reference."""
+        defs = [ConvDef("c1", out1 * groups, kernel=kernel, stride=stride,
+                        padding=padding, groups=groups)]
+        if relu_after:
+            defs.append(ReLUDef("r1"))
+        if pool_after:
+            defs.append(PoolDef("p1", kernel=2, stride=2))
+        if host_layer == "lrn":
+            defs.append(LRNDef("lrn", local_size=3))
+        elif host_layer == "avg":
+            defs.append(PoolDef("avg", kernel=2, stride=2, kind="avg"))
+        defs += [FlattenDef("fl"), FCDef("fc", 4, scale_output=False)]
+        arch = Architecture(
+            name="rand", input_channels=2 * groups, input_rows=10,
+            input_cols=10, defs=defs,
+        )
+        rng = np.random.default_rng(seed)
+        pipeline = build_pipeline(arch, rng)
+        images = rng.standard_normal((batch, 2 * groups, 10, 10))
+        assert_batches_identical(
+            pipeline.run_batch(images), pipeline.run_batch_reference(images)
+        )
+
+    def test_repeated_runs_reuse_plan_and_stay_exact(self, rng):
+        """The cached plan's arena is reused; results must not alias it."""
+        arch = ARCHITECTURES["conv_relu_pool"]
+        pipeline = build_pipeline(arch, rng)
+        a = rng.standard_normal((2, 3, 12, 12))
+        b = rng.standard_normal((2, 3, 12, 12))
+        out_a = pipeline.run_batch(a)
+        out_b = pipeline.run_batch(b)
+        assert_batches_identical(out_a, pipeline.run_batch_reference(a))
+        assert_batches_identical(out_b, pipeline.run_batch_reference(b))
+        stats = model_plan_cache_stats()
+        assert stats.misses == 1 and stats.hits == 1
+
+
+# ---- tiers ----------------------------------------------------------------
+
+
+class TestTiers:
+    @pytest.fixture(autouse=True)
+    def restore_tier(self):
+        previous = tiers.get_tier()
+        yield
+        tiers.set_tier(previous)
+
+    def test_default_resolves_to_an_available_tier(self):
+        assert tiers.get_tier() in tiers.TIERS
+        assert tiers.resolve_tier() in ("numpy", "numba")
+
+    def test_numpy_tier_forced(self, rng):
+        tiers.set_tier("numpy")
+        assert tiers.resolve_tier() == "numpy"
+        assert not tiers.numba_active()
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="unknown tier"):
+            tiers.set_tier("gpu")
+
+    def test_numba_request_without_numba_warns_and_falls_back(self, rng):
+        """The pure-numpy fallback is mandatory: requesting the compiled
+        tier on an install without numba must degrade, not fail."""
+        if tiers.numba_available():
+            pytest.skip("numba installed: fallback warning not reachable")
+        with pytest.warns(RuntimeWarning, match="falling back to the numpy tier"):
+            tiers.set_tier("numba")
+        assert tiers.get_tier() == "numba"
+        assert tiers.resolve_tier() == "numpy"
+        arch = ARCHITECTURES["conv_relu_pool"]
+        pipeline = build_pipeline(arch, rng)
+        images = rng.standard_normal((2, 3, 12, 12))
+        assert_batches_identical(
+            pipeline.run_batch(images), pipeline.run_batch_reference(images)
+        )
+
+    @pytest.mark.parametrize("tier", ["auto", "numba"])
+    def test_fused_exact_on_requested_tier(self, rng, tier):
+        """On numba installs this exercises the JIT kernel; elsewhere the
+        numpy fallback — both must be bit-exact."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            tiers.set_tier(tier)
+        arch = ARCHITECTURES["grouped_strided"]
+        pipeline = build_pipeline(arch, rng)
+        images = rng.standard_normal((3, 4, 11, 11))
+        fused = pipeline.run_batch(images)
+        tiers.set_tier("numpy")
+        assert_batches_identical(fused, pipeline.run_batch_reference(images))
+
+    def test_env_parsing_ignores_garbage(self, monkeypatch):
+        monkeypatch.setenv("ABM_SPCONV_TIER", "warp-drive")
+        with pytest.warns(RuntimeWarning, match="ignoring unknown"):
+            assert tiers._tier_from_env() is None
+        monkeypatch.setenv("ABM_SPCONV_TIER", " NumPy ")
+        assert tiers._tier_from_env() == "numpy"
+
+
+# ---- plan cache -----------------------------------------------------------
+
+
+class TestModelPlanCache:
+    def test_hit_on_same_geometry_miss_on_new(self, rng):
+        arch = ARCHITECTURES["conv_relu_pool"]
+        pipeline = build_pipeline(arch, rng)
+        p1 = compile_model_plan(pipeline, (2, 3, 12, 12))
+        p2 = compile_model_plan(pipeline, (2, 3, 12, 12))
+        assert p1 is p2
+        p3 = compile_model_plan(pipeline, (4, 3, 12, 12))
+        assert p3 is not p1
+        stats = model_plan_cache_stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 2, 2)
+        assert stats.name == "core.model_plan"
+
+    def test_requantize_invalidates(self, rng):
+        """The quantization token keys the cache: recalibrating or
+        re-quantizing must never reuse stale fused stages."""
+        arch = ARCHITECTURES["conv_relu_pool"]
+        pipeline = build_pipeline(arch, rng)
+        p1 = compile_model_plan(pipeline, (1, 3, 12, 12))
+        token = pipeline.quantization_token
+        pipeline.quantize()
+        assert pipeline.quantization_token != token
+        p2 = compile_model_plan(pipeline, (1, 3, 12, 12))
+        assert p2 is not p1
+        assert model_plan_cache_stats().hits == 0
+
+    def test_lru_eviction(self, rng):
+        arch = ARCHITECTURES["conv_pool_no_relu"]
+        pipeline = build_pipeline(arch, rng)
+        for b in range(1, MODEL_PLAN_CACHE_CAPACITY + 2):
+            compile_model_plan(pipeline, (b, 2, 9, 9))
+        stats = model_plan_cache_stats()
+        assert stats.size == MODEL_PLAN_CACHE_CAPACITY
+        assert stats.evictions == 1
+
+    def test_registered_in_telemetry_namespace(self, rng):
+        from repro.telemetry.caches import cache_snapshot
+
+        arch = ARCHITECTURES["conv_pool_no_relu"]
+        pipeline = build_pipeline(arch, rng)
+        compile_model_plan(pipeline, (1, 2, 9, 9))
+        snapshot = cache_snapshot()
+        assert "core.model_plan" in snapshot
+        assert snapshot["core.model_plan"]["misses"] == 1
+
+    def test_cache_size_helper(self, rng):
+        assert model_plan_cache_size() == 0
+        arch = ARCHITECTURES["conv_pool_no_relu"]
+        pipeline = build_pipeline(arch, rng)
+        compile_model_plan(pipeline, (1, 2, 9, 9))
+        assert model_plan_cache_size() == 1
+
+
+# ---- errors and introspection --------------------------------------------
+
+
+class TestPlanErrors:
+    def test_uncalibrated_pipeline_rejected(self):
+        arch = ARCHITECTURES["conv_relu_pool"]
+        pipeline = QuantizedPipeline(arch.build(seed=7))
+        with pytest.raises(RuntimeError, match=r"not calibrated.*calibrate\(\)"):
+            ModelPlan(pipeline, (1, 3, 12, 12))
+
+    def test_unquantized_pipeline_rejected(self, rng):
+        arch = ARCHITECTURES["conv_relu_pool"]
+        pipeline = QuantizedPipeline(arch.build(seed=7))
+        pipeline.calibrate(rng.standard_normal((3, 12, 12)))
+        with pytest.raises(RuntimeError, match=r"not quantized.*quantize\(\)"):
+            ModelPlan(pipeline, (1, 3, 12, 12))
+
+    def test_non_bchw_shape_rejected(self, rng):
+        arch = ARCHITECTURES["conv_relu_pool"]
+        pipeline = build_pipeline(arch, rng)
+        with pytest.raises(ValueError, match="BCHW"):
+            ModelPlan(pipeline, (3, 12, 12))
+
+    def test_run_rejects_mismatched_batch(self, rng):
+        arch = ARCHITECTURES["conv_relu_pool"]
+        pipeline = build_pipeline(arch, rng)
+        plan = compile_model_plan(pipeline, (2, 3, 12, 12))
+        codes = pipeline.input_fmt.quantize(rng.standard_normal((1, 3, 12, 12)))
+        with pytest.raises(ValueError, match="compiled for batch"):
+            plan.run(codes)
+
+    def test_describe_mentions_fusion(self, rng):
+        arch = ARCHITECTURES["host_split"]
+        pipeline = build_pipeline(arch, rng)
+        plan = compile_model_plan(pipeline, (2, 3, 13, 13))
+        text = plan.describe()
+        assert "fused" in text and "host" in text and "batch=(2, 3, 13, 13)" in text
+
+
+# ---- telemetry ------------------------------------------------------------
+
+
+class TestTelemetrySpans:
+    def test_fuse_span_on_compile_miss_and_kernel_spans_on_run(self, rng):
+        arch = ARCHITECTURES["conv_relu_pool"]
+        pipeline = build_pipeline(arch, rng)
+        images = rng.standard_normal((2, 3, 12, 12))
+        telemetry = Telemetry()
+        with activate(telemetry):
+            pipeline.run_batch(images)
+            pipeline.run_batch(images)  # cache hit: no second fuse span
+        totals = telemetry.tracer.totals()
+        assert totals["fuse"]["count"] == 1
+        # One kernel span per fused stage (conv + fc) per run.
+        assert totals["kernel"]["count"] == 4
+        roots = [root.to_dict() for root in telemetry.tracer.roots]
+        kernel_spans = [r for r in roots if r["name"] == "kernel"]
+        fused_attrs = {span["attrs"]["fused"] for span in kernel_spans}
+        assert "c1,r1,p1" in fused_attrs
+
+    def test_silent_without_active_telemetry(self, rng):
+        arch = ARCHITECTURES["conv_relu_pool"]
+        pipeline = build_pipeline(arch, rng)
+        images = rng.standard_normal((1, 3, 12, 12))
+        telemetry = Telemetry()
+        pipeline.run_batch(images)  # no active context: must not record
+        assert telemetry.tracer.totals() == {}

@@ -36,6 +36,28 @@ class TestFlowStages:
         with pytest.raises(RuntimeError):
             pipeline.run(x)
 
+    def test_run_batch_requires_calibration(self, image):
+        """The error names the missing step, not a generic 'not ready'."""
+        network, x = image
+        with pytest.raises(RuntimeError, match=r"not calibrated.*calibrate\(\).*run_batch\(\)"):
+            QuantizedPipeline(network).run_batch(x[None])
+
+    def test_run_batch_requires_quantize(self, image):
+        network, x = image
+        pipeline = QuantizedPipeline(network)
+        pipeline.calibrate(x)
+        with pytest.raises(RuntimeError, match=r"not quantized.*quantize\(\).*run_batch\(\)"):
+            pipeline.run_batch(x[None])
+
+    def test_run_batch_reference_requires_quantize(self, image):
+        network, x = image
+        pipeline = QuantizedPipeline(network)
+        pipeline.calibrate(x)
+        with pytest.raises(
+            RuntimeError, match=r"not quantized.*quantize\(\).*run_batch_reference\(\)"
+        ):
+            pipeline.run_batch_reference(x[None])
+
     def test_all_accelerated_layers_compiled(self, image):
         network, x = image
         pipeline = build_pipeline(network, x)

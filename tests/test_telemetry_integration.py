@@ -108,23 +108,25 @@ def serve_run(served_model):
 
 
 class TestServeSpanTree:
-    def test_request_batch_layer_kernel_nesting(self, serve_run):
+    def test_request_batch_kernel_nesting(self, serve_run):
         report, telemetry, _ = serve_run
         roots = telemetry.tracer.roots
         assert [root.name for root in roots] == ["request"] * len(report.batches)
+        saw_fuse = False
         for root in roots:
             (batch,) = root.children
             assert batch.name == "batch"
-            assert batch.children, "batch span has no layer children"
-            assert {child.name for child in batch.children} == {"layer"}
-            kernels = [
-                kernel
-                for layer in batch.children
-                for kernel in layer.children
-                if kernel.name == "kernel"
-            ]
-            # conv1, conv2, fc3, fc4 each run a compiled kernel per batch.
+            assert batch.children, "batch span has no children"
+            # The fused streaming path nests one kernel span per fused
+            # stage directly under the batch (no per-layer spans), plus a
+            # one-time `fuse` compile span on each worker's first batch.
+            assert {child.name for child in batch.children} <= {"kernel", "fuse"}
+            kernels = [c for c in batch.children if c.name == "kernel"]
+            saw_fuse = saw_fuse or any(c.name == "fuse" for c in batch.children)
+            # conv1, conv2, fc3, fc4 each run one fused stage per batch.
             assert len(kernels) == 4
+            assert all("fused" in kernel.attrs for kernel in kernels)
+        assert saw_fuse, "no batch recorded a model-plan compile span"
 
     def test_request_span_attrs_mirror_batch_trace(self, serve_run):
         report, telemetry, _ = serve_run
