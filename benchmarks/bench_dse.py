@@ -160,3 +160,80 @@ def test_bench_dse_artifact():
 
     vgg16 = report["models"]["vgg16"]["speedup_compiled_vs_reference"]
     assert vgg16 >= floor, f"vgg16 compiled-DSE speedup {vgg16}x below {floor}x"
+
+
+def test_bench_dse_adaptive():
+    """TPE-guided joint search vs the exhaustive oracle; appends rows.
+
+    For each workload the adaptive study must recover >= 99% of the
+    exhaustive-best throughput while evaluating <= 10% of the joint
+    space. Results merge into ``BENCH_dse.json`` under ``"adaptive"``
+    and each study's JSONL file is left next to the artifact so CI can
+    upload it.
+    """
+    from repro.dse import default_joint_space, exhaustive_search, run_study
+
+    trials = 48
+    rows = {"trials": trials, "seed": 1, "sampler": "tpe", "models": {}}
+    print()
+    for model in ("alexnet", "vgg16"):
+        workload = synthetic_model_workload(model, seed=1)
+        space = default_joint_space([workload])
+
+        start = time.perf_counter()
+        exhaustive = exhaustive_search([workload], STRATIX_V_GXA7, space=space)
+        exhaustive_s = time.perf_counter() - start
+
+        study_path = ARTIFACT.parent / f"BENCH_dse_study_{model}.jsonl"
+        study_path.unlink(missing_ok=True)
+        start = time.perf_counter()
+        result = run_study(
+            [workload], STRATIX_V_GXA7, trials=trials, sampler="tpe",
+            seed=1, space=space, path=str(study_path),
+        )
+        study_s = time.perf_counter() - start
+
+        random_result = run_study(
+            [workload], STRATIX_V_GXA7, trials=trials, sampler="random",
+            seed=1, space=space,
+        )
+
+        best = result.best.values["throughput_gops"]
+        oracle = exhaustive.values["throughput_gops"]
+        ratio = best / oracle
+        fraction = result.evaluated_fraction
+        rows["models"][model] = {
+            "space_points": space.size,
+            "evaluated_points": result.evaluated_points,
+            "evaluated_fraction": round(fraction, 5),
+            "best_gops": round(best, 1),
+            "exhaustive_gops": round(oracle, 1),
+            "ratio_to_exhaustive": round(ratio, 4),
+            "random_best_gops": round(
+                random_result.best.values["throughput_gops"], 1
+            ),
+            "front_size": len(result.front),
+            "study_wall_s": round(study_s, 3),
+            "exhaustive_wall_s": round(exhaustive_s, 3),
+            "study_file": study_path.name,
+        }
+        print(
+            f"  {model:<8} tpe {best:7.1f} / exhaustive {oracle:7.1f} GOP/s "
+            f"(ratio {ratio:.4f})  {result.evaluated_points} of "
+            f"{space.size} points ({fraction:.2%})  "
+            f"study {study_s:5.2f}s  exhaustive {exhaustive_s:5.2f}s"
+        )
+        assert ratio >= 0.99, f"{model}: TPE ratio {ratio:.4f} below 0.99"
+        assert fraction <= 0.10, (
+            f"{model}: evaluated {fraction:.2%} of the space (cap 10%)"
+        )
+
+    # Merge into the trajectory artifact without clobbering the grid rows.
+    report = json.loads(ARTIFACT.read_text()) if ARTIFACT.exists() else {
+        "generated_by": "benchmarks/bench_dse.py",
+        "quick": QUICK,
+        "seed": 1,
+    }
+    report["adaptive"] = rows
+    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"  wrote adaptive rows into {ARTIFACT}")

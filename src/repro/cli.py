@@ -7,7 +7,10 @@ Commands
 - ``simulate --model {alexnet,vgg16}`` — run the accelerator simulator on a
   calibrated synthetic workload and print the per-layer report.
 - ``explore --model {alexnet,vgg16}`` — run the design-space exploration
-  flow and print the chosen configuration.
+  flow and print the chosen configuration; with ``--trials K`` it runs the
+  adaptive joint-space study instead (``--sampler tpe|random``,
+  ``--objectives a,b,...``, ``--study FILE`` persists the trial log as
+  JSONL and ``--resume`` continues a killed study bit-identically).
 - ``roofline`` — print the Figure 1 roofline for a device.
 - ``serve-sim --model {lenet,cifarnet}`` — simulate batched serving across
   a pool of accelerator instances and print the latency/throughput report;
@@ -93,11 +96,75 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore_adaptive(args: argparse.Namespace) -> int:
+    from .dse.adaptive import OBJECTIVE_DIRECTIONS, run_study
+    from .dse.study import StudyError, parse_objectives
+
+    device = get_device(args.device)
+    workload = synthetic_model_workload(args.model, seed=args.seed)
+    try:
+        objectives = (
+            parse_objectives(args.objectives, OBJECTIVE_DIRECTIONS)
+            if args.objectives
+            else None
+        )
+        result = run_study(
+            [workload],
+            device,
+            trials=args.trials,
+            sampler=args.sampler,
+            seed=args.seed,
+            objectives=objectives,
+            path=args.study,
+            resume=args.resume,
+            batch=args.batch,
+        )
+    except StudyError as error:
+        print(f"error: {error}")
+        return 1
+    spec = result.study.spec
+    print(
+        f"adaptive exploration for {args.model} on {device.name} "
+        f"[sampler={spec.sampler} seed={spec.seed}]"
+    )
+    print(
+        f"  trials:              {result.sampled_trials} sampled, "
+        f"{len(result.study.trials)} total"
+    )
+    print(
+        f"  evaluated:           {result.evaluated_points} of "
+        f"{result.space_size} joint configurations "
+        f"({result.evaluated_fraction:.2%})"
+    )
+    print(f"  pareto front:        {len(result.front)} trials")
+    if result.best is None:
+        print("  no feasible configuration found")
+        return 1
+    params = result.best.params
+    print(
+        f"  best:                N_knl={params['n_knl']:g} "
+        f"S_ec={params['s_ec']:g} N_cu={params['n_cu']:g} "
+        f"N={params['n_share']:g} D_f={params['d_f']:g} "
+        f"D_w={params['d_w']:g} @{params['freq_mhz']:g} MHz"
+    )
+    for name, value in result.best.values.items():
+        print(f"    {name:<18} {value:.4g}")
+    if args.study:
+        print(f"  study file:          {args.study}")
+    return 0
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
+    if args.trials is not None:
+        return _cmd_explore_adaptive(args)
     device = get_device(args.device)
     workload = synthetic_model_workload(args.model, seed=args.seed)
     result = explore(
-        workload, device, workers=args.workers, compiled=not args.reference
+        workload,
+        device,
+        workers=args.workers,
+        compiled=not args.reference,
+        seed=args.seed,
     )
     path = "reference (per-point)" if args.reference else "compiled (whole-grid)"
     print(f"exploration for {args.model} on {device.name} [{path}]")
@@ -514,6 +581,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "of the compiled whole-grid fast path")
     p_dse.add_argument("--workers", type=int, default=None,
                        help="process-pool size (reference path only)")
+    p_dse.add_argument("--trials", type=int, default=None,
+                       help="run the adaptive joint-space study with this "
+                            "many sampled trials instead of the grid sweep")
+    p_dse.add_argument("--sampler", choices=("tpe", "random"), default="tpe",
+                       help="adaptive study sampler (default: tpe)")
+    p_dse.add_argument("--objectives", default=None,
+                       help="comma-separated study objectives; the first is "
+                            "the primary (default: throughput_gops,"
+                            "logic_util,dsp_util,mem_util,total_power_w)")
+    p_dse.add_argument("--study", default=None,
+                       help="persist the study as append-only JSONL here")
+    p_dse.add_argument("--resume", action="store_true",
+                       help="resume an existing --study file")
+    p_dse.add_argument("--batch", type=int, default=8,
+                       help="sampled trials per study round (default: 8)")
     p_dse.set_defaults(func=_cmd_explore)
 
     p_roof = sub.add_parser("roofline", help="print the Figure 1 roofline")

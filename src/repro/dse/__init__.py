@@ -45,9 +45,19 @@ from .frequency import (
     RefinedPoint,
     refine_with_frequency,
 )
-from .multi import JointExplorationResult, JointPoint, explore_joint
+from .multi import (
+    JointExplorationResult,
+    JointPoint,
+    co_deployment_objectives,
+    explore_joint,
+)
 from .parallel import map_jobs
-from .pareto import FrontierSummary, pareto_frontier, pareto_frontier_reference
+from .pareto import (
+    FrontierSummary,
+    nondominated_mask,
+    pareto_frontier,
+    pareto_frontier_reference,
+)
 from .performance import (
     MODE_IDEAL,
     MODE_QUANTIZED,
@@ -69,6 +79,32 @@ from .sensitivity import (
     SensitivityEntry,
     SensitivityResult,
     resource_sensitivity,
+)
+
+# The study/adaptive layer sits above everything else in this package
+# (and repro.hw.power reaches back into repro.dse.bandwidth), so these
+# imports must come last to keep the import graph acyclic.
+from .study import (
+    Objective,
+    ParetoFront,
+    SearchSpace,
+    Study,
+    StudyError,
+    StudySpec,
+    TrialRecord,
+    parse_objectives,
+)
+from .adaptive import (
+    DEFAULT_OBJECTIVES,
+    JointEvaluator,
+    OBJECTIVE_DIRECTIONS,
+    RandomSampler,
+    StudyResult,
+    TPESampler,
+    default_joint_space,
+    exhaustive_search,
+    make_sampler,
+    run_study,
 )
 
 __all__ = [
@@ -129,5 +165,25 @@ __all__ = [
     "pareto_frontier_reference",
     "JointExplorationResult",
     "JointPoint",
+    "co_deployment_objectives",
     "explore_joint",
+    "nondominated_mask",
+    "Objective",
+    "ParetoFront",
+    "SearchSpace",
+    "Study",
+    "StudyError",
+    "StudySpec",
+    "TrialRecord",
+    "parse_objectives",
+    "DEFAULT_OBJECTIVES",
+    "JointEvaluator",
+    "OBJECTIVE_DIRECTIONS",
+    "RandomSampler",
+    "StudyResult",
+    "TPESampler",
+    "default_joint_space",
+    "exhaustive_search",
+    "make_sampler",
+    "run_study",
 ]

@@ -45,6 +45,7 @@ import numpy as np
 from ..core.specs import LayerSpec
 from ..hw.config import AcceleratorConfig
 from ..hw.device import FPGADevice
+from ..hw.power import EnergyModel, PowerReport, analytic_energy_per_image
 from ..hw.tiling import plan_layer_windows
 from ..hw.workload import ModelWorkload
 from ..telemetry.caches import CacheStats, register_cache
@@ -121,6 +122,15 @@ class GridEvaluation:
     #: Per-layer bound labels ('accumulate' / 'multiply'), grid-invariant.
     layer_bounds: Tuple[str, ...]
     n_share: int
+    #: Total power and efficiency per grid point, float-identical to the
+    #: per-point :func:`repro.hw.power.abm_power_analytic` report.
+    power_w: np.ndarray
+    gops_per_watt: np.ndarray
+    #: Dynamic energy per image per ``S_ec`` column (it depends only on the
+    #: (d_f, s_ec) geometry, not on the engine/CU axes).
+    energy_per_image_j: Tuple[float, ...]
+    dense_ops: int
+    static_w: float
 
     @property
     def shape(self) -> Tuple[int, int, int]:
@@ -158,6 +168,24 @@ class GridEvaluation:
             logic=float(self.logic_util[idx]),
             dsp=float(self.dsp_util[idx]),
             memory=float(self.mem_util[idx]),
+        )
+
+    def power_report_at(
+        self, i_knl: int, i_sec: int, i_ncu: int, label: str = "abm-spconv"
+    ) -> PowerReport:
+        """Scalar :class:`PowerReport` of one grid point.
+
+        ``report.total_power_w`` / ``report.gops_per_watt`` equal the
+        ``power_w`` / ``gops_per_watt`` array elements exactly.
+        """
+        idx = (i_knl, i_sec, i_ncu)
+        seconds = float(self.cycles_per_image[idx]) / (self.freq_mhz * 1e6)
+        return PowerReport(
+            label=label,
+            energy_per_image_j=self.energy_per_image_j[i_sec],
+            seconds_per_image=seconds,
+            static_w=self.static_w,
+            dense_ops=self.dense_ops,
         )
 
 
@@ -234,15 +262,25 @@ class CompiledWorkload:
         freq_mhz: float = 200.0,
         logic_limit: float = 0.75,
         mode: str = MODE_QUANTIZED,
+        buffers: Optional[Sequence[object]] = None,
+        energy_model: Optional[EnergyModel] = None,
     ) -> GridEvaluation:
         """Score the full cartesian grid in one batch of array operations.
 
-        Returns cycles/throughput, resource estimates, utilization and the
-        feasibility mask for every ``(N_knl, S_ec, N_cu)`` combination —
-        each element float-identical to the per-point reference evaluators
-        on the corresponding configuration. Layer cycles accumulate in
-        layer order (matching ``ModelPerformance.cycles_per_image``'s
-        sequential sum bit for bit).
+        Returns cycles/throughput, resource estimates, utilization, power
+        and the feasibility mask for every ``(N_knl, S_ec, N_cu)``
+        combination — each element float-identical to the per-point
+        reference evaluators on the corresponding configuration. Layer
+        cycles accumulate in layer order (matching
+        ``ModelPerformance.cycles_per_image``'s sequential sum bit for
+        bit).
+
+        ``buffers`` overrides the per-``S_ec`` buffer sizing (one
+        :class:`~repro.dse.explorer.BufferSizing` per ``s_ec_values``
+        entry) — the adaptive joint search uses this to sample ``d_f`` /
+        ``d_w`` as free axes instead of deriving them. ``energy_model``
+        selects the power coefficients (default
+        :class:`~repro.hw.power.EnergyModel`).
         """
         if mode not in _MODES:
             raise ValueError(f"unknown performance-model mode {mode!r}")
@@ -251,7 +289,15 @@ class CompiledWorkload:
         n_knl = tuple(int(v) for v in n_knl_values)
         s_ec = tuple(int(v) for v in s_ec_values)
         n_cu = tuple(int(v) for v in n_cu_values)
-        buffers = tuple(size_buffers(self.workload, s) for s in s_ec)
+        if buffers is None:
+            buffers = tuple(size_buffers(self.workload, s) for s in s_ec)
+        else:
+            buffers = tuple(buffers)
+            if len(buffers) != len(s_ec):
+                raise ValueError(
+                    f"{len(buffers)} buffer sizings for {len(s_ec)} S_ec values"
+                )
+        model = energy_model if energy_model is not None else EnergyModel()
         shape = (len(n_knl), len(s_ec), len(n_cu))
         knl = np.asarray(n_knl, dtype=np.int64)[:, None, None]
         sec = np.asarray(s_ec, dtype=np.int64)[None, :, None]
@@ -283,6 +329,30 @@ class CompiledWorkload:
         with np.errstate(divide="ignore", invalid="ignore"):
             seconds = total / (freq_mhz * 1e6)
             throughput = self.dense_ops / seconds / 1e9
+
+        # Dynamic energy depends only on the (d_f, s_ec) column geometry, so
+        # one scalar evaluation per column — the same function the per-point
+        # path calls — keeps the whole power grid float-identical to it.
+        energy_col = np.empty(len(s_ec), dtype=np.float64)
+        for j, (s, sized) in enumerate(zip(s_ec, buffers)):
+            # Energy ignores the CU/kernel counts, so degenerate empty
+            # axes just borrow a placeholder to satisfy config validation.
+            column_config = AcceleratorConfig(
+                n_cu=n_cu[0] if n_cu else 1,
+                n_knl=n_knl[0] if n_knl else 1,
+                n_share=self.n_share,
+                s_ec=s,
+                d_f=sized.d_f,
+                d_w=sized.d_w,
+                d_q=sized.d_q,
+                freq_mhz=freq_mhz,
+            )
+            energy_col[j] = analytic_energy_per_image(
+                self.workload, column_config, model
+            )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            power_w = energy_col[None, :, None] / seconds + model.static_w
+            gops_per_watt = throughput / power_w
 
         alms, dsps, m20ks = resources.estimate_arrays(knl, sec, ncu, self.n_share)
         alms = np.broadcast_to(alms, shape).copy()
@@ -318,6 +388,11 @@ class CompiledWorkload:
             feasible=feasible,
             layer_bounds=self.layer_bounds,
             n_share=self.n_share,
+            power_w=power_w,
+            gops_per_watt=gops_per_watt,
+            energy_per_image_j=tuple(float(e) for e in energy_col),
+            dense_ops=self.dense_ops,
+            static_w=model.static_w,
         )
 
 

@@ -466,6 +466,10 @@ class ExplorationResult:
     chosen: AcceleratorConfig
     performance: ModelPerformance
     bandwidth: BandwidthReport
+    #: How the space was searched ('exhaustive' here; the adaptive flow
+    #: reports 'tpe' / 'random') and the seed that pins any randomness.
+    sampler: str = "exhaustive"
+    seed: Optional[int] = None
 
 
 def explore(
@@ -478,6 +482,7 @@ def explore(
     preset_s_ec: int = 20,
     workers: Optional[int] = None,
     compiled: bool = True,
+    seed: Optional[int] = None,
 ) -> ExplorationResult:
     """Run the full exploration flow of Figure 5.
 
@@ -486,6 +491,10 @@ def explore(
     ``workers`` parallelizes the sweeps over a process pool. The chosen
     configuration and every reported point are identical for any
     combination of the two knobs.
+
+    The exhaustive flow has no internal randomness; ``seed`` records the
+    provenance of the (upstream-synthesized) workload in the result so
+    downstream reports can reproduce the run bit for bit.
     """
     n_share = share_factor_from_workloads(workload.layers)
     nknl_points = sweep_nknl(
@@ -545,4 +554,6 @@ def explore(
         chosen=chosen,
         performance=performance,
         bandwidth=bandwidth,
+        sampler="exhaustive",
+        seed=seed,
     )

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+import numpy as np
+
 from .explorer import GridPoint
 
 
@@ -49,6 +51,18 @@ class FrequencyModel:
         return max(
             1.0, self.base_mhz - self.slope_mhz * (logic_utilization - self.knee)
         )
+
+    def fmax_mhz_array(self, logic_utilization: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`fmax_mhz` over a utilization array.
+
+        Element-for-element identical to the scalar method; the adaptive
+        joint search uses it to gate sampled clock frequencies against
+        congestion across whole evaluation grids at once.
+        """
+        util = np.asarray(logic_utilization, dtype=np.float64)
+        decayed = np.maximum(1.0, self.base_mhz - self.slope_mhz * (util - self.knee))
+        fmax = np.where(util <= self.knee, self.base_mhz, decayed)
+        return np.where(util < self.fail_utilization, fmax, 0.0)
 
 
 #: Calibrated to the paper's achieved 202-204 MHz at 68-73% ALMs.

@@ -55,39 +55,65 @@ def _survivors_chunk(
     ]
 
 
+def nondominated_mask(
+    columns: Sequence[np.ndarray], directions: Sequence[str]
+) -> np.ndarray:
+    """Non-dominated mask over N points scored on arbitrary objectives.
+
+    ``columns`` holds one value array per objective (all the same length);
+    ``directions`` gives each objective's sense (``'max'`` or ``'min'``).
+    A point survives when no other point is at least as good on every
+    column and strictly better on one. Dominance is tested with one
+    (candidates x chunk) mask reduction per chunk of points, so the
+    pairwise matrices stay ~a few MB even on grids with tens of thousands
+    of points. The grid frontier (:func:`pareto_frontier`) and the
+    adaptive study front (:mod:`repro.dse.study`) share this test.
+    """
+    if len(columns) != len(directions):
+        raise ValueError("need one direction per objective column")
+    if not columns:
+        raise ValueError("need at least one objective column")
+    for direction in directions:
+        if direction not in ("max", "min"):
+            raise ValueError(f"direction must be 'max' or 'min', got {direction!r}")
+    arrays = [np.asarray(column) for column in columns]
+    n = len(arrays[0])
+    if any(len(array) != n for array in arrays):
+        raise ValueError("objective columns must share one length")
+    survives = np.empty(n, dtype=bool)
+    chunk = max(1, min(n, 4_000_000 // max(n, 1)))
+    for lo in range(0, n, chunk):
+        sl = slice(lo, min(lo + chunk, n))
+        no_worse: Optional[np.ndarray] = None
+        strictly: Optional[np.ndarray] = None
+        for array, direction in zip(arrays, directions):
+            if direction == "max":
+                nw = array[:, None] >= array[None, sl]
+                st = array[:, None] > array[None, sl]
+            else:
+                nw = array[:, None] <= array[None, sl]
+                st = array[:, None] < array[None, sl]
+            no_worse = nw if no_worse is None else (no_worse & nw)
+            strictly = st if strictly is None else (strictly | st)
+        survives[sl] = ~(no_worse & strictly).any(axis=0)
+    return survives
+
+
 def _survivors_vectorized(feasible: Sequence[GridPoint]) -> np.ndarray:
     """Non-dominated mask over the feasible set via numpy broadcasting.
 
-    Builds the objective/resource vectors once, then tests dominance with
-    one (candidates x chunk) ≤/< mask reduction per chunk of points —
-    identical comparisons to :func:`_dominates`, so the surviving set is
-    exactly the reference's.
+    Builds the objective/resource vectors once and delegates the chunked
+    dominance reduction to :func:`nondominated_mask` — identical
+    comparisons to :func:`_dominates`, so the surviving set is exactly
+    the reference's.
     """
     throughput = np.array([p.throughput_gops for p in feasible], dtype=np.float64)
     alms = np.array([p.resources.alms for p in feasible], dtype=np.int64)
     dsps = np.array([p.resources.dsps for p in feasible], dtype=np.int64)
     m20ks = np.array([p.resources.m20ks for p in feasible], dtype=np.int64)
-    n = len(feasible)
-    survives = np.empty(n, dtype=bool)
-    # Chunk the candidate axis so the pairwise masks stay ~a few MB even on
-    # grids with tens of thousands of points.
-    chunk = max(1, min(n, 4_000_000 // max(n, 1)))
-    for lo in range(0, n, chunk):
-        sl = slice(lo, min(lo + chunk, n))
-        no_worse = (
-            (throughput[:, None] >= throughput[None, sl])
-            & (alms[:, None] <= alms[None, sl])
-            & (dsps[:, None] <= dsps[None, sl])
-            & (m20ks[:, None] <= m20ks[None, sl])
-        )
-        strictly = (
-            (throughput[:, None] > throughput[None, sl])
-            | (alms[:, None] < alms[None, sl])
-            | (dsps[:, None] < dsps[None, sl])
-            | (m20ks[:, None] < m20ks[None, sl])
-        )
-        survives[sl] = ~(no_worse & strictly).any(axis=0)
-    return survives
+    return nondominated_mask(
+        (throughput, alms, dsps, m20ks), ("max", "min", "min", "min")
+    )
 
 
 def pareto_frontier_reference(

@@ -1,0 +1,568 @@
+"""Study persistence for the adaptive DSE: trials, fronts, JSONL resume.
+
+An adaptive search (:mod:`repro.dse.adaptive`) produces a *study*: an
+ordered sequence of trials, each a point of the joint design space scored
+against the configured objectives, plus the incremental Pareto front over
+the feasible trials. This module owns everything about that record:
+
+- :class:`SearchSpace` — the named, ordered candidate axes of the joint
+  space. Axes are finite and ordered, so every point has a mixed-radix
+  flat index (used for deterministic de-duplication fallback scans) and
+  the space round-trips losslessly through JSON.
+- :class:`TrialRecord` — one evaluated point: params, objective values,
+  feasibility, provenance (``sampled`` by the sampler or ``harvest``\\ ed
+  from an evaluated sub-grid batch).
+- :class:`ParetoFront` — incremental non-dominated set over the feasible
+  trials, direction-aware per objective; the generic dominance test is
+  shared with :mod:`repro.dse.pareto`.
+- :class:`Study` — the append-only JSONL persistence. One schema-validated
+  record per trial, a header record pinning the study's configuration
+  (space, sampler, seed, objectives) and one ``round_end`` marker per
+  sampler round. Because every source of randomness is keyed on
+  ``(seed, round)`` and the sampler only consumes recorded history,
+  **resuming a killed study reproduces the exact trial sequence and front
+  an uninterrupted run would have produced** — a partially-written final
+  round is trimmed and deterministically re-run.
+
+Corruption is loud: an interior line that fails to parse or validate
+raises :class:`StudyError` naming the file and line; only an *incomplete
+tail* (the signature of a killed process: a partial final line, or trials
+past the last ``round_end`` marker) is silently trimmed on resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Schema tag written into every study file; bumped on breaking changes.
+STUDY_SCHEMA = "dse.study/1"
+
+#: Objective directions understood by the front and the samplers.
+DIRECTION_MAX = "max"
+DIRECTION_MIN = "min"
+_DIRECTIONS = (DIRECTION_MAX, DIRECTION_MIN)
+
+
+class StudyError(ValueError):
+    """A study file (or resume request) is invalid; message says why."""
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimization objective: a named value and its direction."""
+
+    name: str
+    direction: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise StudyError(
+                f"objective {self.name!r}: direction must be one of "
+                f"{_DIRECTIONS}, got {self.direction!r}"
+            )
+
+    def better(self, a: float, b: float) -> bool:
+        """True when value ``a`` is strictly better than ``b``."""
+        return a > b if self.direction == DIRECTION_MAX else a < b
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Ordered categorical axes of the joint design space.
+
+    ``axes`` maps axis name -> ordered tuple of candidate values. Order
+    matters twice: the tuple order defines each axis's mixed radix, and
+    the axis order defines the flat-index layout (first axis is the most
+    significant digit).
+    """
+
+    axes: Tuple[Tuple[str, Tuple[float, ...]], ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for name, values in self.axes:
+            if name in seen:
+                raise StudyError(f"duplicate axis {name!r} in search space")
+            seen.add(name)
+            if not values:
+                raise StudyError(f"axis {name!r} has no candidate values")
+            if len(set(values)) != len(values):
+                raise StudyError(f"axis {name!r} has duplicate candidates")
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.axes)
+
+    def values(self, name: str) -> Tuple[float, ...]:
+        for axis, candidates in self.axes:
+            if axis == name:
+                return candidates
+        raise KeyError(f"no axis named {name!r}")
+
+    @property
+    def size(self) -> int:
+        """Total number of joint configurations."""
+        total = 1
+        for _, values in self.axes:
+            total *= len(values)
+        return total
+
+    def key(self, params: Mapping[str, float]) -> Tuple[float, ...]:
+        """Canonical hashable identity of a point (axis order)."""
+        return tuple(params[name] for name in self.names)
+
+    def flatten(self, params: Mapping[str, float]) -> int:
+        """Mixed-radix flat index of a point."""
+        index = 0
+        for name, values in self.axes:
+            index = index * len(values) + values.index(params[name])
+        return index
+
+    def unflatten(self, index: int) -> Dict[str, float]:
+        """Inverse of :meth:`flatten`."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"flat index {index} outside space of {self.size}")
+        params: Dict[str, float] = {}
+        for name, values in reversed(self.axes):
+            index, digit = divmod(index, len(values))
+            params[name] = values[digit]
+        return {name: params[name] for name in self.names}
+
+    def to_json(self) -> Dict[str, List[float]]:
+        return {name: list(values) for name, values in self.axes}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Sequence[float]]) -> "SearchSpace":
+        return cls(tuple((name, tuple(values)) for name, values in data.items()))
+
+
+#: Provenance of a trial: proposed by the sampler, or the best point
+#: harvested from an evaluated sub-grid batch.
+ORIGIN_SAMPLED = "sampled"
+ORIGIN_HARVEST = "harvest"
+_ORIGINS = (ORIGIN_SAMPLED, ORIGIN_HARVEST)
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One evaluated design point of a study."""
+
+    number: int
+    round: int
+    origin: str
+    params: Dict[str, float]
+    #: Objective name -> value; empty when the point could not be planned.
+    values: Dict[str, float]
+    feasible: bool
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kind": "trial",
+            "number": self.number,
+            "round": self.round,
+            "origin": self.origin,
+            "params": self.params,
+            "values": self.values,
+            "feasible": self.feasible,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "TrialRecord":
+        for key in ("number", "round", "origin", "params", "values", "feasible"):
+            if key not in data:
+                raise StudyError(f"trial record missing {key!r}")
+        if data["origin"] not in _ORIGINS:
+            raise StudyError(f"trial origin must be one of {_ORIGINS}")
+        if not isinstance(data["params"], dict) or not isinstance(
+            data["values"], dict
+        ):
+            raise StudyError("trial params/values must be objects")
+        if not isinstance(data["feasible"], bool):
+            raise StudyError("trial feasible must be a boolean")
+        return cls(
+            number=int(data["number"]),
+            round=int(data["round"]),
+            origin=str(data["origin"]),
+            params={str(k): v for k, v in data["params"].items()},
+            values={str(k): float(v) for k, v in data["values"].items()},
+            feasible=bool(data["feasible"]),
+        )
+
+
+def dominates(
+    a: Mapping[str, float],
+    b: Mapping[str, float],
+    objectives: Sequence[Objective],
+) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and better somewhere."""
+    strictly_better = False
+    for objective in objectives:
+        va, vb = a[objective.name], b[objective.name]
+        if objective.better(vb, va):
+            return False
+        if objective.better(va, vb):
+            strictly_better = True
+    return strictly_better
+
+
+class ParetoFront:
+    """Incremental non-dominated set over feasible trials.
+
+    Invariant (pinned by ``tests/test_dse_adaptive.py``): after any
+    sequence of :meth:`consider` calls, no member dominates another, and
+    every feasible considered trial is either a member or dominated by
+    one.
+    """
+
+    def __init__(self, objectives: Sequence[Objective]) -> None:
+        self.objectives = tuple(objectives)
+        self._members: List[TrialRecord] = []
+
+    def consider(self, trial: TrialRecord) -> bool:
+        """Offer a trial; returns True when it enters the front."""
+        if not trial.feasible:
+            return False
+        if any(objective.name not in trial.values for objective in self.objectives):
+            return False
+        for member in self._members:
+            if dominates(member.values, trial.values, self.objectives):
+                return False
+        self._members = [
+            member
+            for member in self._members
+            if not dominates(trial.values, member.values, self.objectives)
+        ]
+        self._members.append(trial)
+        return True
+
+    @property
+    def members(self) -> Tuple[TrialRecord, ...]:
+        """Front members, ordered by trial number (deterministic)."""
+        return tuple(sorted(self._members, key=lambda t: t.number))
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """Everything that pins a study's identity (written into the header).
+
+    Resume refuses to continue a file whose header disagrees with the
+    requested spec — silently mixing sampler settings or seeds would
+    destroy the reproducibility contract.
+    """
+
+    name: str
+    models: Tuple[str, ...]
+    device: str
+    sampler: str
+    seed: int
+    objectives: Tuple[Objective, ...]
+    space: SearchSpace
+    batch: int = 8
+    #: A sub-grid batch may evaluate at most ``subgrid_cap * len(group)``
+    #: grid points; larger cross products fall back to per-trial points.
+    subgrid_cap: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.objectives:
+            raise StudyError("a study needs at least one objective")
+        if self.batch < 1 or self.subgrid_cap < 1:
+            raise StudyError("batch and subgrid_cap must be >= 1")
+
+    @property
+    def primary(self) -> Objective:
+        """The first objective drives the TPE good/bad split."""
+        return self.objectives[0]
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kind": "header",
+            "schema": STUDY_SCHEMA,
+            "name": self.name,
+            "models": list(self.models),
+            "device": self.device,
+            "sampler": self.sampler,
+            "seed": self.seed,
+            "objectives": [[o.name, o.direction] for o in self.objectives],
+            "space": self.space.to_json(),
+            "batch": self.batch,
+            "subgrid_cap": self.subgrid_cap,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "StudySpec":
+        if data.get("schema") != STUDY_SCHEMA:
+            raise StudyError(
+                f"unsupported study schema {data.get('schema')!r} "
+                f"(expected {STUDY_SCHEMA!r})"
+            )
+        for key in ("name", "models", "device", "sampler", "seed", "objectives",
+                    "space", "batch", "subgrid_cap"):
+            if key not in data:
+                raise StudyError(f"study header missing {key!r}")
+        return cls(
+            name=str(data["name"]),
+            models=tuple(str(m) for m in data["models"]),
+            device=str(data["device"]),
+            sampler=str(data["sampler"]),
+            seed=int(data["seed"]),
+            objectives=tuple(
+                Objective(str(name), str(direction))
+                for name, direction in data["objectives"]
+            ),
+            space=SearchSpace.from_json(data["space"]),
+            batch=int(data["batch"]),
+            subgrid_cap=int(data["subgrid_cap"]),
+        )
+
+
+class Study:
+    """A persisted (or in-memory) adaptive-DSE study.
+
+    The on-disk format is JSON lines, append-only during a run:
+
+    - line 1: the header (:meth:`StudySpec.to_json`);
+    - one record per trial, in trial order;
+    - one ``round_end`` marker after each completed sampler round, carrying
+      the cumulative unique-evaluated-point count as an integrity
+      cross-check.
+
+    Pass ``path=None`` for a purely in-memory study (tests, quick CLI
+    runs without persistence).
+    """
+
+    def __init__(self, spec: StudySpec, path: Optional[str] = None) -> None:
+        self.spec = spec
+        self.path = path
+        self.trials: List[TrialRecord] = []
+        self.front = ParetoFront(spec.objectives)
+        #: Cumulative count of unique grid points evaluated (set by the
+        #: search loop; persisted in round_end markers).
+        self.evaluated_points = 0
+        self.rounds_complete = 0
+
+    # ---- creation / loading -------------------------------------------
+
+    @classmethod
+    def create(cls, spec: StudySpec, path: Optional[str] = None) -> "Study":
+        """Start a fresh study; refuses to overwrite an existing file."""
+        study = cls(spec, path)
+        if path is not None:
+            if os.path.exists(path):
+                raise StudyError(
+                    f"{path}: study file already exists (pass resume=True "
+                    f"to continue it, or remove the file)"
+                )
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(spec.to_json()) + "\n")
+        return study
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        spec: Optional[StudySpec] = None,
+        trim_partial: bool = True,
+    ) -> "Study":
+        """Load a study file, trimming a killed run's incomplete tail.
+
+        Interior corruption (a malformed or invalid record before the last
+        complete round) raises :class:`StudyError` naming the line. A
+        partial *final* line or trials past the last ``round_end`` marker
+        are the footprint of a killed process; with ``trim_partial`` they
+        are dropped (and the file rewritten without them) so the next
+        round re-runs deterministically. When ``spec`` is given, the file
+        header must match it exactly.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except OSError as error:
+            raise StudyError(f"{path}: cannot read study file: {error}")
+        lines = raw.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        if not lines:
+            raise StudyError(f"{path}: empty study file (no header record)")
+
+        def _parse(lineno: int, line: str) -> Mapping[str, object]:
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise _Partial(lineno, f"{path}:{lineno}: malformed JSON: {error}")
+            if not isinstance(data, dict) or "kind" not in data:
+                raise StudyError(
+                    f"{path}:{lineno}: record is not an object with a 'kind'"
+                )
+            return data
+
+        class _Partial(Exception):
+            def __init__(self, lineno: int, message: str) -> None:
+                self.lineno = lineno
+                self.message = message
+
+        try:
+            header = _parse(1, lines[0])
+        except _Partial as partial:
+            raise StudyError(partial.message)
+        if header.get("kind") != "header":
+            raise StudyError(f"{path}:1: first record must be the study header")
+        file_spec = StudySpec.from_json(header)
+        if spec is not None and file_spec != spec:
+            raise StudyError(
+                f"{path}: study header does not match the requested "
+                f"configuration — refusing to resume (same space, sampler, "
+                f"seed and objectives are required for reproducible resume)"
+            )
+
+        study = cls(file_spec, path)
+        pending: List[TrialRecord] = []
+        keep_lines = 1  # header
+        next_number = 0
+        partial_reason: Optional[str] = None
+        for lineno, line in enumerate(lines[1:], start=2):
+            try:
+                data = _parse(lineno, line)
+            except _Partial as partial:
+                if lineno == len(lines):
+                    partial_reason = partial.message
+                    break
+                raise StudyError(partial.message)
+            kind = data["kind"]
+            if kind == "trial":
+                record = TrialRecord.from_json(data)
+                if record.number != next_number:
+                    raise StudyError(
+                        f"{path}:{lineno}: trial number {record.number} out of "
+                        f"sequence (expected {next_number})"
+                    )
+                _validate_params(file_spec.space, record, path, lineno)
+                next_number += 1
+                pending.append(record)
+            elif kind == "round_end":
+                for key in ("round", "evaluated_points"):
+                    if key not in data:
+                        raise StudyError(f"{path}:{lineno}: round_end missing {key!r}")
+                if int(data["round"]) != study.rounds_complete:
+                    raise StudyError(
+                        f"{path}:{lineno}: round_end for round {data['round']} "
+                        f"out of sequence (expected {study.rounds_complete})"
+                    )
+                for record in pending:
+                    study._admit(record)
+                pending = []
+                study.rounds_complete = int(data["round"]) + 1
+                study.evaluated_points = int(data["evaluated_points"])
+                keep_lines = lineno
+            else:
+                raise StudyError(f"{path}:{lineno}: unknown record kind {kind!r}")
+
+        trimmed = len(lines) - keep_lines
+        if trimmed and not trim_partial:
+            reason = partial_reason or (
+                f"{path}: {trimmed} record(s) past the last complete round"
+            )
+            raise StudyError(reason)
+        if trimmed:
+            # Rewrite without the incomplete tail; the next round re-runs
+            # deterministically and regenerates identical records.
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write("\n".join(lines[:keep_lines]) + "\n")
+        return study
+
+    # ---- appending ----------------------------------------------------
+
+    def _admit(self, record: TrialRecord) -> None:
+        self.trials.append(record)
+        self.front.consider(record)
+
+    def append_trial(self, record: TrialRecord) -> None:
+        """Record one evaluated trial (and persist it immediately)."""
+        if record.number != len(self.trials):
+            raise StudyError(
+                f"trial number {record.number} out of sequence "
+                f"(expected {len(self.trials)})"
+            )
+        self._admit(record)
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record.to_json()) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def end_round(self, round_index: int, evaluated_points: int) -> None:
+        """Mark a sampler round complete (the resume cut point)."""
+        self.rounds_complete = round_index + 1
+        self.evaluated_points = evaluated_points
+        if self.path is not None:
+            marker = {
+                "kind": "round_end",
+                "round": round_index,
+                "evaluated_points": evaluated_points,
+            }
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(marker) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    # ---- queries ------------------------------------------------------
+
+    def best(self, objective: Optional[str] = None) -> Optional[TrialRecord]:
+        """The best feasible trial on one objective (default: primary)."""
+        name = objective or self.spec.primary.name
+        direction = next(
+            (o for o in self.spec.objectives if o.name == name), None
+        )
+        if direction is None:
+            raise KeyError(f"study has no objective named {name!r}")
+        candidates = [
+            t for t in self.trials if t.feasible and name in t.values
+        ]
+        if not candidates:
+            return None
+        best = candidates[0]
+        for trial in candidates[1:]:
+            if direction.better(trial.values[name], best.values[name]):
+                best = trial
+        return best
+
+    def sampled_count(self) -> int:
+        return sum(1 for t in self.trials if t.origin == ORIGIN_SAMPLED)
+
+
+def _validate_params(
+    space: SearchSpace, record: TrialRecord, path: str, lineno: int
+) -> None:
+    if tuple(record.params.keys()) != space.names:
+        raise StudyError(
+            f"{path}:{lineno}: trial {record.number} params do not cover the "
+            f"space axes {space.names}"
+        )
+    for name, value in record.params.items():
+        if value not in space.values(name):
+            raise StudyError(
+                f"{path}:{lineno}: trial {record.number} param {name}={value!r} "
+                f"is not a candidate of that axis"
+            )
+
+
+def parse_objectives(
+    text: str, known: Mapping[str, str]
+) -> Tuple[Objective, ...]:
+    """Parse a CLI ``--objectives a,b,c`` list against known directions."""
+    names = [name.strip() for name in text.split(",") if name.strip()]
+    if not names:
+        raise StudyError("empty objective list")
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise StudyError(
+            f"unknown objective(s) {unknown}; choose from {sorted(known)}"
+        )
+    if len(set(names)) != len(names):
+        raise StudyError("duplicate objectives")
+    return tuple(Objective(name, known[name]) for name in names)

@@ -17,7 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .accelerator import ModelSimResult
+from .config import AcceleratorConfig
 from .mac_array import MacArrayModelResult
+from .workload import ModelWorkload
 
 
 @dataclass(frozen=True)
@@ -93,6 +95,57 @@ def abm_power(
         seconds_per_image=simulation.seconds_per_image,
         static_w=model.static_w,
         dense_ops=simulation.dense_ops,
+    )
+
+
+def analytic_energy_per_image(
+    workload: ModelWorkload,
+    config: AcceleratorConfig,
+    model: EnergyModel = EnergyModel(),
+) -> float:
+    """Per-image dynamic energy of a workload/configuration pair.
+
+    Same activity accounting as :func:`abm_power`, but fed from the
+    analytic models instead of a simulation: operation counts come from
+    the workload statistics and DDR traffic from the bandwidth model's
+    prefetch-window plan. The result depends only on the ``(d_f, s_ec)``
+    geometry of the configuration — which is what lets the compiled DSE
+    grid (:meth:`repro.dse.compiled.CompiledWorkload.evaluate_grid`)
+    evaluate energy once per ``S_ec`` column and stay float-identical to
+    this per-point path.
+    """
+    from ..dse.bandwidth import layer_traffic  # local: dse sits above hw
+
+    acc_ops = workload.accumulate_ops
+    mult_ops = workload.multiply_ops
+    ddr_bytes = sum(
+        layer_traffic(layer, config).total_bytes for layer in workload.layers
+    )
+    return (
+        acc_ops * model.accumulate_j
+        + mult_ops * model.multiply_j
+        + acc_ops * model.sram_accesses_per_op * model.sram_access_j
+        + ddr_bytes * model.ddr_byte_j
+    )
+
+
+def abm_power_analytic(
+    workload: ModelWorkload,
+    config: AcceleratorConfig,
+    seconds_per_image: float,
+    model: EnergyModel = EnergyModel(),
+) -> PowerReport:
+    """Power report for an analytically-modelled (unsimulated) design point.
+
+    ``seconds_per_image`` comes from the performance model (cycles at the
+    configured clock); energy from :func:`analytic_energy_per_image`.
+    """
+    return PowerReport(
+        label=f"abm-spconv/{workload.name}",
+        energy_per_image_j=analytic_energy_per_image(workload, config, model),
+        seconds_per_image=seconds_per_image,
+        static_w=model.static_w,
+        dense_ops=workload.dense_ops,
     )
 
 

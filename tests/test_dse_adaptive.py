@@ -1,0 +1,763 @@
+"""Adaptive multi-objective DSE: samplers, persistence, resume, quality.
+
+Pins the contracts of :mod:`repro.dse.study` and :mod:`repro.dse.adaptive`:
+
+- determinism: the same seed produces the same trial sequence, for both
+  samplers, and killing a persisted study mid-run then resuming from its
+  JSONL reproduces the uninterrupted run *byte for byte*;
+- the incremental Pareto front never contains a dominated trial and
+  never drops a non-dominated one (hypothesis-checked invariant);
+- corrupt study files fail loudly with the offending line number;
+- the vectorized power/efficiency grids are float-identical to the
+  per-point analytic power model;
+- the headline: on the AlexNet and VGG16 joint spaces the TPE study
+  reaches ≥99% of the exhaustive-best throughput while evaluating ≤10%
+  of the configurations.
+"""
+
+import json
+import math
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dse import (
+    DEFAULT_RESOURCE_MODEL,
+    Objective,
+    ParetoFront,
+    RandomSampler,
+    SearchSpace,
+    Study,
+    StudyError,
+    StudySpec,
+    TPESampler,
+    TrialRecord,
+    compile_workload,
+    default_joint_space,
+    exhaustive_search,
+    explore,
+    make_sampler,
+    parse_objectives,
+    run_study,
+)
+from repro.dse.adaptive import DEFAULT_OBJECTIVES, OBJECTIVE_DIRECTIONS
+from repro.dse.study import dominates
+from repro.hw import STRATIX_V_GXA7
+from repro.hw.device import FPGADevice
+from repro.hw.power import abm_power_analytic, analytic_energy_per_image
+from repro.telemetry import Telemetry, activate
+from repro.workloads import synthetic_model_workload
+
+
+@pytest.fixture(scope="module")
+def alexnet_workload():
+    return synthetic_model_workload("alexnet", seed=1)
+
+
+@pytest.fixture(scope="module")
+def vgg_workload():
+    return synthetic_model_workload("vgg16", seed=1)
+
+
+@pytest.fixture(scope="module")
+def alexnet_space(alexnet_workload):
+    return default_joint_space([alexnet_workload])
+
+
+@pytest.fixture(scope="module")
+def alexnet_exhaustive(alexnet_workload, alexnet_space):
+    return exhaustive_search(
+        [alexnet_workload], STRATIX_V_GXA7, space=alexnet_space
+    )
+
+
+def _trial_tuples(result):
+    return [
+        (t.number, t.round, t.origin, t.params, t.values, t.feasible)
+        for t in result.study.trials
+    ]
+
+
+# ---------------------------------------------------------------------------
+# SearchSpace
+# ---------------------------------------------------------------------------
+
+
+SMALL_SPACE = SearchSpace(
+    (
+        ("a", (1, 2, 3)),
+        ("b", (10, 20)),
+        ("c", (5, 6, 7, 8)),
+    )
+)
+
+
+class TestSearchSpace:
+    def test_size(self):
+        assert SMALL_SPACE.size == 3 * 2 * 4
+
+    @given(st.integers(min_value=0, max_value=SMALL_SPACE.size - 1))
+    def test_flatten_unflatten_roundtrip(self, index):
+        params = SMALL_SPACE.unflatten(index)
+        assert tuple(params.keys()) == SMALL_SPACE.names
+        for name, value in params.items():
+            assert value in SMALL_SPACE.values(name)
+        assert SMALL_SPACE.flatten(params) == index
+
+    def test_json_roundtrip(self):
+        assert SearchSpace.from_json(SMALL_SPACE.to_json()) == SMALL_SPACE
+
+    def test_joint_space_has_all_axes(self, alexnet_space):
+        assert set(alexnet_space.names) == {
+            "n_knl", "s_ec", "n_cu", "n_share", "d_f", "d_w", "freq_mhz",
+        }
+        assert alexnet_space.size > 100_000
+
+
+# ---------------------------------------------------------------------------
+# Sampler determinism
+# ---------------------------------------------------------------------------
+
+
+def _fake_history(space, count, rng):
+    trials = []
+    for number in range(count):
+        params = space.unflatten(int(rng.integers(space.size)))
+        feasible = bool(rng.integers(2))
+        values = {"throughput_gops": float(rng.uniform(10, 900))} if feasible else {}
+        trials.append(
+            TrialRecord(
+                number=number,
+                round=number // 4,
+                origin="sampled",
+                params=params,
+                values=values,
+                feasible=feasible,
+            )
+        )
+    return trials
+
+
+class TestSamplerDeterminism:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        history_size=st.integers(min_value=0, max_value=30),
+        sampler_name=st.sampled_from(["tpe", "random"]),
+    )
+    def test_propose_is_a_pure_function_of_seed_and_history(
+        self, seed, history_size, sampler_name
+    ):
+        space = SMALL_SPACE
+        history = _fake_history(
+            space, history_size, np.random.default_rng(seed)
+        )
+        primary = Objective("throughput_gops", "max")
+        sampler = make_sampler(sampler_name)
+        first = sampler.propose(
+            space, history, primary, np.random.default_rng([seed, 0]), 5, set()
+        )
+        second = sampler.propose(
+            space, history, primary, np.random.default_rng([seed, 0]), 5, set()
+        )
+        assert first == second
+        keys = [space.key(p) for p in first]
+        assert len(set(keys)) == len(keys), "proposals must be distinct"
+        for params in first:
+            for name, value in params.items():
+                assert value in space.values(name)
+
+    def test_proposals_avoid_seen_and_exhaust_gracefully(self):
+        space = SMALL_SPACE
+        sampler = RandomSampler()
+        primary = Objective("throughput_gops", "max")
+        seen = {
+            space.key(space.unflatten(i)) for i in range(space.size - 3)
+        }
+        proposals = sampler.propose(
+            space, [], primary, np.random.default_rng(0), 10, seen
+        )
+        assert len(proposals) == 3  # only 3 unseen points remain
+        assert not {space.key(p) for p in proposals} & seen
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_same_seed_same_study(self, seed, alexnet_workload):
+        runs = [
+            run_study(
+                [alexnet_workload],
+                STRATIX_V_GXA7,
+                trials=10,
+                sampler="tpe",
+                seed=seed,
+            )
+            for _ in range(2)
+        ]
+        assert _trial_tuples(runs[0]) == _trial_tuples(runs[1])
+        assert runs[0].evaluated_points == runs[1].evaluated_points
+        assert [t.number for t in runs[0].front] == [
+            t.number for t in runs[1].front
+        ]
+
+    def test_tpe_sampler_validation(self):
+        with pytest.raises(ValueError):
+            TPESampler(gamma=0.0)
+        with pytest.raises(ValueError):
+            TPESampler(n_candidates=0)
+        with pytest.raises(ValueError):
+            TPESampler(explore_fraction=1.0)
+        with pytest.raises(StudyError):
+            make_sampler("annealing")
+
+
+# ---------------------------------------------------------------------------
+# Persistence, kill & resume
+# ---------------------------------------------------------------------------
+
+
+class TestResume:
+    @pytest.mark.parametrize("cut", [0.35, 0.6, 0.9])
+    def test_killed_study_resumes_identically(
+        self, tmp_path, alexnet_workload, cut
+    ):
+        fresh_path = tmp_path / "fresh.jsonl"
+        killed_path = tmp_path / "killed.jsonl"
+        fresh = run_study(
+            [alexnet_workload],
+            STRATIX_V_GXA7,
+            trials=16,
+            sampler="tpe",
+            seed=11,
+            path=str(fresh_path),
+        )
+        data = fresh_path.read_bytes()
+        killed_path.write_bytes(data[: int(len(data) * cut)])
+        resumed = run_study(
+            [alexnet_workload],
+            STRATIX_V_GXA7,
+            trials=16,
+            sampler="tpe",
+            seed=11,
+            path=str(killed_path),
+            resume=True,
+        )
+        assert _trial_tuples(fresh) == _trial_tuples(resumed)
+        assert fresh.evaluated_points == resumed.evaluated_points
+        assert [t.number for t in fresh.front] == [
+            t.number for t in resumed.front
+        ]
+        assert fresh_path.read_bytes() == killed_path.read_bytes()
+
+    def test_resume_of_complete_study_is_idempotent(
+        self, tmp_path, alexnet_workload
+    ):
+        path = tmp_path / "study.jsonl"
+        first = run_study(
+            [alexnet_workload],
+            STRATIX_V_GXA7,
+            trials=10,
+            seed=3,
+            path=str(path),
+        )
+        before = path.read_bytes()
+        again = run_study(
+            [alexnet_workload],
+            STRATIX_V_GXA7,
+            trials=10,
+            seed=3,
+            path=str(path),
+            resume=True,
+        )
+        assert _trial_tuples(first) == _trial_tuples(again)
+        assert path.read_bytes() == before
+
+    def test_resume_extends_to_more_trials(self, tmp_path, alexnet_workload):
+        path = tmp_path / "study.jsonl"
+        run_study(
+            [alexnet_workload], STRATIX_V_GXA7, trials=8, seed=3,
+            path=str(path),
+        )
+        extended = run_study(
+            [alexnet_workload], STRATIX_V_GXA7, trials=16, seed=3,
+            path=str(path), resume=True,
+        )
+        direct = run_study(
+            [alexnet_workload], STRATIX_V_GXA7, trials=16, seed=3,
+        )
+        assert extended.sampled_trials == 16
+        assert _trial_tuples(extended) == _trial_tuples(direct)
+
+    def test_in_memory_equals_persisted(self, tmp_path, alexnet_workload):
+        persisted = run_study(
+            [alexnet_workload], STRATIX_V_GXA7, trials=12, seed=5,
+            path=str(tmp_path / "study.jsonl"),
+        )
+        memory = run_study(
+            [alexnet_workload], STRATIX_V_GXA7, trials=12, seed=5,
+        )
+        assert _trial_tuples(persisted) == _trial_tuples(memory)
+
+    def test_values_roundtrip_exactly_through_json(
+        self, tmp_path, alexnet_workload
+    ):
+        path = tmp_path / "study.jsonl"
+        result = run_study(
+            [alexnet_workload], STRATIX_V_GXA7, trials=8, seed=9,
+            path=str(path),
+        )
+        loaded = Study.load(str(path))
+        for fresh, reread in zip(result.study.trials, loaded.trials):
+            assert fresh.values == reread.values  # exact float equality
+            assert fresh.params == reread.params
+
+
+# ---------------------------------------------------------------------------
+# Corrupt / mismatched study files
+# ---------------------------------------------------------------------------
+
+
+class TestStudyErrors:
+    def _write_study(self, tmp_path, alexnet_workload, **kwargs):
+        path = tmp_path / "study.jsonl"
+        run_study(
+            [alexnet_workload], STRATIX_V_GXA7, trials=8, seed=2,
+            path=str(path), **kwargs,
+        )
+        return path
+
+    def test_interior_corruption_names_the_line(
+        self, tmp_path, alexnet_workload
+    ):
+        path = self._write_study(tmp_path, alexnet_workload)
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]  # mangle mid-file JSON
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StudyError, match=rf"{path.name}:3"):
+            Study.load(str(path))
+
+    def test_trailing_partial_line_is_trimmed_not_fatal(
+        self, tmp_path, alexnet_workload
+    ):
+        path = tmp_path / "study.jsonl"
+        run_study(
+            [alexnet_workload], STRATIX_V_GXA7, trials=16, seed=2,
+            path=str(path), batch=8,  # two rounds
+        )
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])  # clip the final record mid-JSON
+        loaded = Study.load(str(path))
+        assert loaded.trials  # the first complete round survives
+        assert loaded.rounds_complete == 1
+
+    def test_header_mismatch_refuses_resume(self, tmp_path, alexnet_workload):
+        path = self._write_study(tmp_path, alexnet_workload)
+        with pytest.raises(StudyError):
+            run_study(
+                [alexnet_workload], STRATIX_V_GXA7, trials=8, seed=2,
+                sampler="random",  # differs from the recorded header
+                path=str(path), resume=True,
+            )
+
+    def test_existing_file_without_resume_is_an_error(
+        self, tmp_path, alexnet_workload
+    ):
+        path = self._write_study(tmp_path, alexnet_workload)
+        with pytest.raises(StudyError, match="already exists"):
+            run_study(
+                [alexnet_workload], STRATIX_V_GXA7, trials=8, seed=2,
+                path=str(path),
+            )
+
+    def test_tampered_trial_param_is_rejected(
+        self, tmp_path, alexnet_workload
+    ):
+        path = self._write_study(tmp_path, alexnet_workload)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["params"]["n_knl"] = 999  # not a candidate of the space
+        lines[1] = json.dumps(record)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StudyError, match="n_knl"):
+            Study.load(str(path))
+
+    def test_parse_objectives(self):
+        objectives = parse_objectives(
+            "gops_per_watt,mem_util", OBJECTIVE_DIRECTIONS
+        )
+        assert [o.name for o in objectives] == ["gops_per_watt", "mem_util"]
+        assert objectives[0].direction == "max"
+        with pytest.raises(StudyError):
+            parse_objectives("latency", OBJECTIVE_DIRECTIONS)
+        with pytest.raises(StudyError):
+            parse_objectives("mem_util,mem_util", OBJECTIVE_DIRECTIONS)
+        with pytest.raises(StudyError):
+            parse_objectives("", OBJECTIVE_DIRECTIONS)
+
+    def test_unknown_objective_in_run_study(self, alexnet_workload):
+        with pytest.raises(StudyError, match="unknown objective"):
+            run_study(
+                [alexnet_workload], STRATIX_V_GXA7, trials=4,
+                objectives=(Objective("latency_s", "min"),),
+            )
+
+
+# ---------------------------------------------------------------------------
+# Pareto-front invariants
+# ---------------------------------------------------------------------------
+
+
+FRONT_OBJECTIVES = (
+    Objective("throughput_gops", "max"),
+    Objective("total_power_w", "min"),
+)
+
+
+class TestParetoInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(1.0, 100.0, allow_nan=False),
+                st.floats(1.0, 10.0, allow_nan=False),
+                st.booleans(),
+            ),
+            max_size=40,
+        )
+    )
+    def test_front_is_exactly_the_nondominated_feasible_set(self, points):
+        front = ParetoFront(FRONT_OBJECTIVES)
+        trials = []
+        for number, (gops, watts, feasible) in enumerate(points):
+            trial = TrialRecord(
+                number=number,
+                round=0,
+                origin="sampled",
+                params={"x": float(number)},
+                values={"throughput_gops": gops, "total_power_w": watts}
+                if feasible
+                else {},
+                feasible=feasible,
+            )
+            trials.append(trial)
+            front.consider(trial)
+        members = front.members
+        # No member may dominate another member.
+        for a in members:
+            for b in members:
+                assert not dominates(a.values, b.values, FRONT_OBJECTIVES)
+        # Every feasible trial is dominated-or-equal-covered or a member.
+        member_numbers = {t.number for t in members}
+        for trial in trials:
+            if not trial.feasible:
+                assert trial.number not in member_numbers
+                continue
+            if trial.number not in member_numbers:
+                assert any(
+                    dominates(m.values, trial.values, FRONT_OBJECTIVES)
+                    or m.values == trial.values
+                    for m in members
+                )
+
+    def test_study_front_never_holds_dominated_trials(self, alexnet_workload):
+        result = run_study(
+            [alexnet_workload], STRATIX_V_GXA7, trials=16, seed=4,
+        )
+        for a in result.front:
+            assert a.feasible
+            for b in result.front:
+                assert not dominates(
+                    a.values, b.values, result.study.spec.objectives
+                )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized power arrays (satellite: float-identical to per-point power)
+# ---------------------------------------------------------------------------
+
+
+class TestPowerArrays:
+    def test_grid_power_matches_per_point_reports(self, alexnet_workload):
+        compiled = compile_workload(alexnet_workload, n_share=11)
+        s_ec_values = (8, 16, 24)
+        evaluation = compiled.evaluate_grid(
+            DEFAULT_RESOURCE_MODEL,
+            STRATIX_V_GXA7,
+            n_knl_values=(8, 14),
+            s_ec_values=s_ec_values,
+            n_cu_values=(1, 2, 3),
+        )
+        assert evaluation.power_w.shape == evaluation.cycles_per_image.shape
+        for i in range(2):
+            for j in range(3):
+                for k in range(3):
+                    report = evaluation.power_report_at(i, j, k)
+                    assert (
+                        evaluation.power_w[i, j, k] == report.total_power_w
+                    )
+                    assert (
+                        evaluation.gops_per_watt[i, j, k]
+                        == report.gops_per_watt
+                    )
+
+    def test_grid_power_matches_abm_power_analytic(self, alexnet_workload):
+        compiled = compile_workload(alexnet_workload, n_share=11)
+        evaluation = compiled.evaluate_grid(
+            DEFAULT_RESOURCE_MODEL,
+            STRATIX_V_GXA7,
+            n_knl_values=(14,),
+            s_ec_values=(16,),
+            n_cu_values=(2,),
+            freq_mhz=200.0,
+        )
+        config = evaluation.config_at(0, 0, 0)
+        seconds = float(evaluation.cycles_per_image[0, 0, 0]) / (200.0 * 1e6)
+        report = abm_power_analytic(alexnet_workload, config, seconds)
+        assert evaluation.power_w[0, 0, 0] == report.total_power_w
+        assert evaluation.gops_per_watt[0, 0, 0] == report.gops_per_watt
+        assert evaluation.energy_per_image_j[0] == analytic_energy_per_image(
+            alexnet_workload, config
+        )
+
+
+# ---------------------------------------------------------------------------
+# Headline: adaptive search quality vs the exhaustive oracle
+# ---------------------------------------------------------------------------
+
+
+class TestSearchQuality:
+    TRIALS = 48
+    SEED = 1
+
+    def _quality(self, workload, space, exhaustive):
+        result = run_study(
+            [workload], STRATIX_V_GXA7, trials=self.TRIALS,
+            sampler="tpe", seed=self.SEED, space=space,
+        )
+        assert result.best is not None
+        ratio = (
+            result.best.values["throughput_gops"]
+            / exhaustive.values["throughput_gops"]
+        )
+        return result, ratio
+
+    def test_alexnet_tpe_within_1pct_of_exhaustive(
+        self, alexnet_workload, alexnet_space, alexnet_exhaustive
+    ):
+        result, ratio = self._quality(
+            alexnet_workload, alexnet_space, alexnet_exhaustive
+        )
+        assert ratio >= 0.99
+        assert result.evaluated_fraction <= 0.10
+
+    def test_vgg16_tpe_within_1pct_of_exhaustive(self, vgg_workload):
+        space = default_joint_space([vgg_workload])
+        exhaustive = exhaustive_search(
+            [vgg_workload], STRATIX_V_GXA7, space=space
+        )
+        result, ratio = self._quality(vgg_workload, space, exhaustive)
+        assert ratio >= 0.99
+        assert result.evaluated_fraction <= 0.10
+
+    def test_exhaustive_counts_the_whole_space(
+        self, alexnet_space, alexnet_exhaustive
+    ):
+        assert alexnet_exhaustive.evaluated_points == alexnet_space.size
+
+    def test_tpe_at_least_matches_random(
+        self, alexnet_workload, alexnet_exhaustive
+    ):
+        tpe = run_study(
+            [alexnet_workload], STRATIX_V_GXA7, trials=self.TRIALS,
+            sampler="tpe", seed=self.SEED,
+        )
+        random = run_study(
+            [alexnet_workload], STRATIX_V_GXA7, trials=self.TRIALS,
+            sampler="random", seed=self.SEED,
+        )
+        assert (
+            tpe.best.values["throughput_gops"]
+            >= random.best.values["throughput_gops"]
+        )
+
+    def test_exhaustive_best_is_feasible_and_consistent(
+        self, alexnet_workload, alexnet_exhaustive
+    ):
+        # The oracle's winner must itself be reachable by a study: pin its
+        # params through a 1-point space and compare values exactly.
+        params = alexnet_exhaustive.params
+        space = SearchSpace(
+            tuple((name, (value,)) for name, value in params.items())
+        )
+        result = run_study(
+            [alexnet_workload], STRATIX_V_GXA7, trials=1, space=space,
+        )
+        assert result.best is not None
+        assert result.best.values == alexnet_exhaustive.values
+
+
+# ---------------------------------------------------------------------------
+# Multi-workload co-deployment studies
+# ---------------------------------------------------------------------------
+
+
+class TestMultiWorkload:
+    def test_joint_study_is_conservative(
+        self, alexnet_workload, vgg_workload
+    ):
+        joint = run_study(
+            [alexnet_workload, vgg_workload], STRATIX_V_GXA7,
+            trials=12, seed=1,
+        )
+        assert joint.best is not None
+        best_params = joint.best.params
+        # The joint point must be feasible — and no better than either
+        # workload evaluated alone at the same configuration.
+        space = SearchSpace(
+            tuple((name, (value,)) for name, value in best_params.items())
+        )
+        for workload in (alexnet_workload, vgg_workload):
+            solo = run_study([workload], STRATIX_V_GXA7, trials=1, space=space)
+            assert solo.best is not None
+            assert (
+                joint.best.values["throughput_gops"]
+                <= solo.best.values["throughput_gops"] + 1e-9
+            )
+
+    def test_joint_study_records_both_models(
+        self, tmp_path, alexnet_workload, vgg_workload
+    ):
+        path = tmp_path / "joint.jsonl"
+        run_study(
+            [alexnet_workload, vgg_workload], STRATIX_V_GXA7,
+            trials=6, seed=1, path=str(path),
+        )
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["models"] == ["alexnet", "vgg16"]
+
+
+# ---------------------------------------------------------------------------
+# Seed threading & result provenance (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestProvenance:
+    def test_explore_result_carries_sampler_and_seed(self, alexnet_workload):
+        result = explore(alexnet_workload, STRATIX_V_GXA7, seed=5)
+        assert result.sampler == "exhaustive"
+        assert result.seed == 5
+
+    def test_study_header_carries_sampler_and_seed(
+        self, tmp_path, alexnet_workload
+    ):
+        path = tmp_path / "study.jsonl"
+        run_study(
+            [alexnet_workload], STRATIX_V_GXA7, trials=6,
+            sampler="random", seed=77, path=str(path),
+        )
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["sampler"] == "random"
+        assert header["seed"] == 77
+        assert header["schema"] == "dse.study/1"
+
+    def test_default_objectives_cover_paper_axes(self):
+        names = [o.name for o in DEFAULT_OBJECTIVES]
+        assert names[0] == "throughput_gops"
+        assert {"logic_util", "dsp_util", "mem_util", "total_power_w"} <= set(
+            names
+        )
+
+
+# ---------------------------------------------------------------------------
+# Telemetry
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetry:
+    def test_study_emits_spans_and_instruments(self, alexnet_workload):
+        telemetry = Telemetry()
+        with activate(telemetry):
+            result = run_study(
+                [alexnet_workload], STRATIX_V_GXA7, trials=8, seed=1,
+            )
+        (root,) = telemetry.tracer.roots
+        assert root.name == "dse.study"
+        assert root.attrs["sampler"] == "tpe"
+        rounds = [s for s in root.children if s.name == "dse.round"]
+        assert rounds
+        trial_spans = [
+            s for r in rounds for s in r.children if s.name == "dse.trial"
+        ]
+        assert len(trial_spans) == len(result.study.trials)
+        sampled = telemetry.registry.counter(
+            "dse.study/trials", origin="sampled"
+        )
+        assert sampled.value == result.sampled_trials
+        points = telemetry.registry.counter("dse.study/points")
+        assert points.value == result.evaluated_points
+        front_size = telemetry.registry.gauge("dse.study/front_size")
+        assert front_size.value == len(result.front)
+
+    def test_study_is_silent_without_telemetry(self, alexnet_workload):
+        result = run_study(
+            [alexnet_workload], STRATIX_V_GXA7, trials=4, seed=1,
+        )
+        assert result.sampled_trials == 4
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_adaptive_explore_and_resume(self, tmp_path, capsys):
+        from repro.cli import main
+
+        study = tmp_path / "study.jsonl"
+        argv = [
+            "--seed", "1", "explore", "--model", "alexnet",
+            "--trials", "6", "--study", str(study),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "adaptive exploration" in out
+        assert "sampler=tpe" in out
+        assert study.exists()
+
+        # Without --resume the existing file is refused...
+        assert main(argv) == 1
+        assert "already exists" in capsys.readouterr().out
+        # ...and with it the study extends deterministically.
+        assert main(argv + ["--resume"]) == 0
+
+    def test_adaptive_explore_custom_objectives(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "--seed", "1", "explore", "--model", "alexnet",
+                    "--trials", "4", "--sampler", "random",
+                    "--objectives", "gops_per_watt,logic_util",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "gops_per_watt" in out
+
+    def test_adaptive_explore_bad_objective(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "explore", "--model", "alexnet", "--trials", "4",
+                    "--objectives", "latency_s",
+                ]
+            )
+            == 1
+        )
+        assert "unknown objective" in capsys.readouterr().out
