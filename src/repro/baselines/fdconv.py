@@ -17,10 +17,21 @@ operations ~3.3x on 3x3 layers. Two views:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..core.schemes import (
+    ConvScheme,
+    SchemeOps,
+    SchemeResources,
+    register_scheme_model,
+)
 from ..core.specs import LayerSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.config import AcceleratorConfig
+    from ..hw.workload import LayerWorkload
 
 #: Default OaA output-tile edge used by [3] for 3x3 kernels.
 DEFAULT_TILE = 4
@@ -95,3 +106,44 @@ class OaAModel:
         if spec.is_fc:
             return float(spec.dense_ops)
         return spec.dense_ops / self.reduction(spec.kernel, spec.stride)
+
+
+class FDConvModel:
+    """OaA frequency-domain convolution as a :class:`SchemeModel`.
+
+    Model-only (``executable = False``): :func:`fdconv2d` is a single-image
+    functional baseline without group support; the batched executable
+    frequency-domain path is :mod:`repro.baselines.spectral`. This model
+    keeps [3]'s calibrated OaA reduction in prediction tables.
+    """
+
+    name = "fdconv"
+    taxonomy = ConvScheme.FDCONV
+    executable = False
+
+    def __init__(self, oaa: OaAModel = None) -> None:
+        self.oaa = oaa if oaa is not None else OaAModel()
+
+    def supports(self, spec: LayerSpec) -> bool:
+        return (not spec.is_fc) and spec.kernel > 1 and spec.groups == 1
+
+    def layer_ops(self, workload: "LayerWorkload") -> SchemeOps:
+        half = self.oaa.layer_ops(workload.spec) / 2.0
+        return SchemeOps(multiplies=half, accumulates=half)
+
+    def layer_cycles(
+        self, workload: "LayerWorkload", config: "AcceleratorConfig"
+    ) -> float:
+        """Effective MAC rate ``R_mac * N_mult`` — the 2*R*N_mac*F roof."""
+        spec = workload.spec
+        rate = self.oaa.reduction(spec.kernel, spec.stride)
+        return spec.macs / (rate * config.total_multipliers)
+
+    def execution_cost(self, workload: "LayerWorkload") -> float:
+        return self.oaa.layer_ops(workload.spec) / 0.7
+
+    def resource_overhead(self, config: "AcceleratorConfig") -> SchemeResources:
+        return SchemeResources(alms=4000, dsps=24, m20ks=16)
+
+
+register_scheme_model(FDConvModel())

@@ -10,11 +10,22 @@ number in Table 2 divides by. The MAC-array timing model lives in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.abm import ConvGeometry, direct_conv2d_codes
+from ..core.schemes import (
+    ConvScheme,
+    SchemeOps,
+    SchemeResources,
+    register_scheme_model,
+)
 from ..core.specs import LayerSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.config import AcceleratorConfig
+    from ..hw.workload import LayerWorkload
 
 
 @dataclass(frozen=True)
@@ -54,3 +65,39 @@ def sdconv2d(
 def sdconv_ops(spec: LayerSpec) -> int:
     """Analytic dense op count (2 per MAC) for a layer spec."""
     return spec.dense_ops
+
+
+class SDConvModel:
+    """Dense MAC-array execution as a :class:`SchemeModel`.
+
+    Model-only (``executable = False``): the fused runtime's dense GEMM
+    *is* the ABM datapath, so a separate SDConv dispatch would be
+    redundant — the scheme exists for prediction tables and as the
+    taxonomy's normalization point.
+    """
+
+    name = "sdconv"
+    taxonomy = ConvScheme.SDCONV
+    executable = False
+
+    def supports(self, spec: LayerSpec) -> bool:
+        return True
+
+    def layer_ops(self, workload: "LayerWorkload") -> SchemeOps:
+        macs = float(workload.spec.macs)
+        return SchemeOps(multiplies=macs, accumulates=macs)
+
+    def layer_cycles(
+        self, workload: "LayerWorkload", config: "AcceleratorConfig"
+    ) -> float:
+        """One MAC per shared multiplier per cycle — the 2*N_mac*F roof."""
+        return workload.spec.macs / float(config.total_multipliers)
+
+    def execution_cost(self, workload: "LayerWorkload") -> float:
+        return 2.0 * workload.spec.macs
+
+    def resource_overhead(self, config: "AcceleratorConfig") -> SchemeResources:
+        return SchemeResources()
+
+
+register_scheme_model(SDConvModel())

@@ -10,12 +10,23 @@ the 'SpConv[7]' column of Table 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.abm import ConvGeometry
+from ..core.schemes import (
+    ConvScheme,
+    SchemeOps,
+    SchemeResources,
+    register_scheme_model,
+)
 from ..core.specs import LayerSpec
 from ..nn.layers.conv import im2col
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.config import AcceleratorConfig
+    from ..hw.workload import LayerWorkload
 
 
 @dataclass(frozen=True)
@@ -96,3 +107,48 @@ def spconv_ops(spec: LayerSpec, density: float) -> float:
     if not 0.0 <= density <= 1.0:
         raise ValueError(f"density must be in [0, 1], got {density}")
     return 2.0 * spec.macs * density
+
+
+#: Software efficiency of the gather-based zero-skipping path relative to a
+#: dense BLAS GEMM — irregular column gathers run far below GEMM rate,
+#: which is why pruned-weight savings rarely show up as wall time on CPUs.
+EXECUTION_EFFICIENCY = 0.35
+
+
+class SpConvModel:
+    """Zero-skipping sparse convolution as a :class:`SchemeModel`.
+
+    Model-only (``executable = False``): the functional :func:`spconv2d`
+    exists for differential checks, but its per-kernel gather loop is not a
+    batched fast path the fused runtime should ever pick.
+    """
+
+    name = "spconv"
+    taxonomy = ConvScheme.SPCONV
+    executable = False
+
+    def supports(self, spec: LayerSpec) -> bool:
+        return True
+
+    def layer_ops(self, workload: "LayerWorkload") -> SchemeOps:
+        surviving = float(workload.spec.macs) * workload.density
+        return SchemeOps(multiplies=surviving, accumulates=surviving)
+
+    def layer_cycles(
+        self, workload: "LayerWorkload", config: "AcceleratorConfig"
+    ) -> float:
+        """Surviving MACs retire one per shared multiplier per cycle."""
+        return (
+            workload.spec.macs
+            * workload.density
+            / float(config.total_multipliers)
+        )
+
+    def execution_cost(self, workload: "LayerWorkload") -> float:
+        return spconv_ops(workload.spec, workload.density) / EXECUTION_EFFICIENCY
+
+    def resource_overhead(self, config: "AcceleratorConfig") -> SchemeResources:
+        return SchemeResources()
+
+
+register_scheme_model(SpConvModel())

@@ -11,6 +11,9 @@ Commands
   adaptive joint-space study instead (``--sampler tpe|random``,
   ``--objectives a,b,...``, ``--study FILE`` persists the trial log as
   JSONL and ``--resume`` continues a killed study bit-identically).
+- ``schemes --model {alexnet,vgg16}`` — print the per-layer heterogeneous
+  scheme plan (chosen scheme, predicted cost/cycles, rationale) produced
+  by :func:`repro.dse.schemes.plan_model_schemes`.
 - ``roofline`` — print the Figure 1 roofline for a device.
 - ``serve-sim --model {lenet,cifarnet}`` — simulate batched serving across
   a pool of accelerator instances and print the latency/throughput report;
@@ -196,6 +199,61 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 def _cmd_roofline(args: argparse.Namespace) -> int:
     device = get_device(args.device)
     print(RooflineModel(device, freq_mhz=args.freq).render())
+    return 0
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    from .dse.schemes import plan_model_schemes
+
+    config = PAPER_CONFIG_VGG16 if args.model == "vgg16" else PAPER_CONFIG_ALEXNET
+    device = get_device(args.device)
+    workload = synthetic_model_workload(
+        args.model,
+        seed=args.seed,
+        scale=args.scale,
+        spatial_scale=args.spatial_scale,
+    )
+    plan = plan_model_schemes(
+        workload, config, device=device, basis=args.basis, margin=args.margin
+    )
+    scaled = "" if args.scale == 1.0 and args.spatial_scale == 1.0 else (
+        f" (scale {args.scale:g}, spatial {args.spatial_scale:g})"
+    )
+    print(f"per-layer scheme plan for {args.model} on {device.name}{scaled}")
+    print(f"  config:   {config.describe()}")
+    print(f"  basis:    {plan.basis} (margin {plan.margin:.0%})")
+    print(f"  enabled:  {', '.join(plan.enabled) if plan.enabled else 'none'}")
+    if plan.rejected:
+        print(f"  rejected: {', '.join(plan.rejected)} (unit does not fit fabric)")
+    if plan.enabled:
+        print(
+            f"  overhead: +{plan.overhead.alms} ALMs "
+            f"+{plan.overhead.dsps} DSPs +{plan.overhead.m20ks} M20Ks"
+        )
+    print()
+    print(
+        f"  {'layer':<10} {'shape':<24} {'scheme':<10} "
+        f"{'cost':>9} {'cycles':>9} {'gain':>6}  why"
+    )
+    specs = {layer.spec.name: layer.spec for layer in workload.layers}
+    for decision in plan.decisions:
+        spec = specs[decision.layer]
+        if spec.is_fc:
+            shape = f"fc {spec.in_channels}->{spec.out_channels}"
+        else:
+            shape = (
+                f"{spec.kernel}x{spec.kernel}/s{spec.stride} "
+                f"{spec.in_channels}->{spec.out_channels} "
+                f"@{spec.out_rows}x{spec.out_cols}"
+            )
+        print(
+            f"  {decision.layer:<10} {shape:<24} {decision.scheme:<10} "
+            f"{decision.chosen_cost / 1e6:8.1f}M "
+            f"{decision.cycles[decision.scheme] / 1e6:8.2f}M "
+            f"{decision.speedup:5.2f}x  {decision.reason}"
+        )
+    print()
+    print(f"  {plan.summary()}")
     return 0
 
 
@@ -597,6 +655,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument("--batch", type=int, default=8,
                        help="sampled trials per study round (default: 8)")
     p_dse.set_defaults(func=_cmd_explore)
+
+    p_sch = sub.add_parser(
+        "schemes", help="print the per-layer heterogeneous scheme plan"
+    )
+    p_sch.add_argument("--model", choices=("alexnet", "vgg16"), default="vgg16")
+    p_sch.add_argument("--device", default="Stratix-V GXA7")
+    p_sch.add_argument(
+        "--basis",
+        choices=("execution", "cycles"),
+        default="execution",
+        help="ranking basis: software execution cost or accelerator cycles",
+    )
+    p_sch.add_argument(
+        "--margin",
+        type=float,
+        default=0.1,
+        help="relative margin a challenger must beat ABM by per layer",
+    )
+    p_sch.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="channel-count multiplier (bench-scale plans, e.g. 0.25)",
+    )
+    p_sch.add_argument(
+        "--spatial-scale",
+        type=float,
+        default=1.0,
+        help="input-resolution multiplier (bench-scale plans, e.g. 0.5)",
+    )
+    p_sch.set_defaults(func=_cmd_schemes)
 
     p_roof = sub.add_parser("roofline", help="print the Figure 1 roofline")
     p_roof.add_argument("--device", default="Stratix-V GXA7")

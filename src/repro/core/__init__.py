@@ -7,8 +7,9 @@
 - :mod:`~repro.core.opcount` — operation-count analysis of SDConv / FDConv /
   SpConv / ABM-SpConv (Table 1).
 - :mod:`~repro.core.specs` — analytic layer dimension records.
-- :mod:`~repro.core.schemes` — scheme taxonomy and computational roofs
-  (Figure 1).
+- :mod:`~repro.core.schemes` — scheme taxonomy, computational roofs
+  (Figure 1), and the :class:`SchemeModel` registry behind per-layer
+  heterogeneous execution.
 - :mod:`~repro.core.model_plan` — whole-network fused streaming execution
   (conv/FC + epilogue stages over ping-pong activation buffers).
 - :mod:`~repro.core.tiers` — numpy / numba execution-tier selection.
@@ -73,10 +74,18 @@ from .opcount import (
     measured_layer_counts,
 )
 from .schemes import (
+    ABMSchemeModel,
     ComputationalRoof,
     ConvScheme,
+    SchemeModel,
+    SchemeOps,
+    SchemeResources,
     abm_roof,
+    get_scheme_model,
     reduced_mac_roof,
+    register_scheme_model,
+    scheme_model_names,
+    scheme_models,
     sdconv_roof,
 )
 from .serialize import (
@@ -150,6 +159,14 @@ __all__ = [
     "sdconv_roof",
     "reduced_mac_roof",
     "abm_roof",
+    "ABMSchemeModel",
+    "SchemeModel",
+    "SchemeOps",
+    "SchemeResources",
+    "register_scheme_model",
+    "get_scheme_model",
+    "scheme_model_names",
+    "scheme_models",
     "CONV",
     "FC",
     "LayerSpec",

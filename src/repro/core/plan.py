@@ -438,6 +438,32 @@ class LayerPlan:
         return output, images, out_rows, out_cols
 
     @property
+    def weight_peak(self) -> int:
+        """Largest |weight code| of the layer (max |VAL| over all Q-Tables).
+
+        Together with an input-magnitude bound this lets alternative scheme
+        datapaths (the fused plan's Winograd stages) prove their float64
+        intermediates exact at compile time, the same way
+        :attr:`max_weighted_sum` licenses the GEMM datapath.
+        """
+        peak = 0
+        for group in self._groups:
+            if group.seg_values.size:
+                peak = max(peak, int(np.abs(group.seg_values).max()))
+        return peak
+
+    def dense_group_weights(self, group: int) -> np.ndarray:
+        """One group's weight codes as float64 ``(group_out, C_g, K, K)``.
+
+        A reshaped view of the cached dense GEMM matrix — the tensor form
+        the Winograd/spectral scheme datapaths transform. For FC layers the
+        kernel extent is 1 and this degenerates to ``(out, in, 1, 1)``.
+        """
+        k = self.geometry.kernel
+        dense = self._groups[group].dense_weights(self.group_out, self.patch_width)
+        return dense.reshape(self.group_out, self.group_in, k, k)
+
+    @property
     def max_weighted_sum(self) -> int:
         """Worst-case |output sum| per unit of input magnitude.
 

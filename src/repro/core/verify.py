@@ -9,6 +9,9 @@ executable scheme agrees:
 - ABM-SpConv (reference loop) == vectorized, including op counts;
 - zero-skipping SpConv == dense, bit-exact;
 - FDConv (float FFT) == dense within float tolerance;
+- Winograd F(2x2,3x3)/F(4x4,3x3) == dense, bit-exact after the integer
+  snap (on 3x3 stride-1 geometries);
+- spectral (batched FFT) == dense, bit-exact after the integer snap;
 - encode/decode round-trips the weights.
 
 This is the library's own continuous differential tester — the kind of
@@ -87,6 +90,8 @@ def run_trial(config: TrialConfig, rng: np.random.Generator) -> Optional[str]:
     # repro.baselines at import time (baselines itself builds on core).
     from ..baselines.fdconv import fdconv2d
     from ..baselines.spconv import spconv2d
+    from ..baselines.spectral import spectral_conv2d
+    from ..baselines.winograd import winograd_conv2d
 
     shape = (
         config.out_channels,
@@ -121,6 +126,15 @@ def run_trial(config: TrialConfig, rng: np.random.Generator) -> Optional[str]:
     sparse = spconv2d(features, weights, geometry)
     if not np.array_equal(sparse.output, expected):
         return f"SpConv != direct at {config}"
+    if config.kernel == 3 and config.stride == 1:
+        for tile in (2, 4):
+            wino = winograd_conv2d(features, weights, geometry, tile=tile)
+            if not np.array_equal(wino.output, expected):
+                return f"Winograd F({tile}) != direct at {config}"
+    if config.kernel > 1:
+        spectral = spectral_conv2d(features, weights, geometry)
+        if not np.array_equal(spectral.output, expected):
+            return f"spectral != direct at {config}"
     if config.groups == 1:
         freq = fdconv2d(
             features.astype(float),

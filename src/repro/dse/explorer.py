@@ -48,6 +48,7 @@ from .resources import (
     ResourceUtilization,
     next_power_of_two,
 )
+from .schemes import ModelSchemePlan, plan_model_schemes
 
 
 @dataclass(frozen=True)
@@ -470,6 +471,11 @@ class ExplorationResult:
     #: reports 'tpe' / 'random') and the seed that pins any randomness.
     sampler: str = "exhaustive"
     seed: Optional[int] = None
+    #: Per-layer heterogeneous scheme assignment for the chosen
+    #: configuration (:func:`repro.dse.schemes.plan_model_schemes` on the
+    #: execution basis), sharing the device's resource budget with the
+    #: chosen design point.
+    scheme_plan: Optional["ModelSchemePlan"] = None
 
 
 def explore(
@@ -542,6 +548,13 @@ def explore(
     bandwidth = bandwidth_report(
         workload, chosen, device, performance.images_per_second
     )
+    scheme_plan = plan_model_schemes(
+        workload,
+        chosen,
+        device=device,
+        resources=resources,
+        logic_limit=logic_limit,
+    )
     return ExplorationResult(
         model=workload.name,
         device=device,
@@ -556,4 +569,5 @@ def explore(
         bandwidth=bandwidth,
         sampler="exhaustive",
         seed=seed,
+        scheme_plan=scheme_plan,
     )

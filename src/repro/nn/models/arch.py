@@ -142,8 +142,43 @@ class Architecture:
             out.append((layer_def, in_shape, (channels, rows, cols)))
         return out
 
-    def accelerated_specs(self) -> List[LayerSpec]:
-        """Full-size conv/FC :class:`LayerSpec` list (no weight allocation)."""
+    def accelerated_specs(
+        self, scale: float = 1.0, spatial_scale: float = 1.0
+    ) -> List[LayerSpec]:
+        """Conv/FC :class:`LayerSpec` list (no weight allocation at 1.0).
+
+        ``scale`` / ``spatial_scale`` mirror :meth:`build`'s channel and
+        input-resolution multipliers; a scaled request delegates to
+        :meth:`build` (with zero weights) so the spec dims match the
+        executable network exactly, while the full-size default stays a
+        symbolic walk that never allocates tensors.
+        """
+        if scale != 1.0 or spatial_scale != 1.0:
+            network = self.build(
+                scale=scale, seed=None, spatial_scale=spatial_scale
+            )
+            specs = []
+            for layer in network.accelerated_layers():
+                in_shape = network.input_shape_of(layer.name)
+                if isinstance(layer, Conv2D):
+                    specs.append(
+                        conv_spec(
+                            layer.name,
+                            layer.in_channels,
+                            layer.out_channels,
+                            layer.kernel,
+                            in_shape.rows,
+                            in_shape.cols,
+                            stride=layer.stride,
+                            padding=layer.padding,
+                            groups=layer.groups,
+                        )
+                    )
+                else:
+                    specs.append(
+                        fc_spec(layer.name, layer.in_features, layer.out_features)
+                    )
+            return specs
         specs: List[LayerSpec] = []
         channels, rows, cols = self.input_channels, self.input_rows, self.input_cols
         flattened = False

@@ -304,7 +304,11 @@ class QuantizedPipeline:
             raise ValueError(f"expected a BCHW batch, got shape {batch.shape}")
         return batch
 
-    def run_batch(self, images: np.ndarray) -> List[InferenceResult]:
+    def run_batch(
+        self,
+        images: np.ndarray,
+        schemes: "Optional[Mapping[str, str]]" = None,
+    ) -> List[InferenceResult]:
         """Batched quantized inference through the fused model plan.
 
         ``images`` is a (B, C, H, W) array or a sequence of CHW images.
@@ -318,13 +322,19 @@ class QuantizedPipeline:
         :class:`InferenceResult` per image, each carrying its exact
         per-image share of the layer op counts (counts are per-pixel
         constants, so the share is exact).
+
+        ``schemes`` optionally maps layer names to per-layer convolution
+        schemes (``winograd2``/``winograd4``/``spectral``); unnamed layers
+        keep the default ABM datapath, outputs stay bit-exact either way.
+        The per-layer planner (:func:`repro.dse.schemes.plan_model_schemes`)
+        produces such assignments.
         """
         from .core.model_plan import compile_model_plan
 
         self._check_ready("run_batch()")
         batch = self._as_bchw(images)
         b = batch.shape[0]
-        plan = compile_model_plan(self, batch.shape)
+        plan = compile_model_plan(self, batch.shape, schemes=schemes)
         codes = self.input_fmt.quantize(batch)
         out_codes, out_fmt = plan.run(codes)
         outputs = out_fmt.dequantize(out_codes)

@@ -70,18 +70,25 @@ def synthetic_model_workload(
     model: str,
     seed: int = 0,
     schedule: Optional[PruningSchedule] = None,
+    scale: float = 1.0,
+    spatial_scale: float = 1.0,
 ) -> ModelWorkload:
-    """Full-size synthetic workload for a registered model.
+    """Synthetic workload for a registered model (full-size by default).
 
     Uses the Deep Compression pruning schedule and the calibrated per-layer
-    codebooks unless a custom schedule is given.
+    codebooks unless a custom schedule is given. ``scale`` and
+    ``spatial_scale`` shrink channel counts and input resolution the same
+    way :meth:`Architecture.build` does, for workloads matching the scaled
+    executable models the benchmarks run.
     """
     architecture = get_architecture(model)
     if schedule is None:
         schedule = deep_compression_schedule(model)
     rng = np.random.default_rng(seed)
     layers = []
-    for spec in architecture.accelerated_specs():
+    for spec in architecture.accelerated_specs(
+        scale=scale, spatial_scale=spatial_scale
+    ):
         layers.append(
             synthetic_layer_workload(
                 spec,
