@@ -15,6 +15,11 @@ Commands
   scheme plan (chosen scheme, predicted cost/cycles, rationale) produced
   by :func:`repro.dse.schemes.plan_model_schemes`.
 - ``roofline`` — print the Figure 1 roofline for a device.
+- ``devices`` — list the FPGA device catalog (logic/DSP/M20K/bandwidth).
+- ``partition --model {alexnet,vgg16} --devices A,B`` — search
+  layer-pipeline partitions across a heterogeneous device catalog
+  (exhaustive by default; ``--trials K`` runs the adaptive study) and
+  print the best pipelined plan against the replication baseline.
 - ``serve-sim --model {lenet,cifarnet}`` — simulate batched serving across
   a pool of accelerator instances and print the latency/throughput report;
   ``--metrics-out FILE`` additionally records the run through
@@ -199,6 +204,87 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 def _cmd_roofline(args: argparse.Namespace) -> int:
     device = get_device(args.device)
     print(RooflineModel(device, freq_mhz=args.freq).render())
+    return 0
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    from .hw.device import available_devices
+
+    header = (
+        f"{'device':<18} {'ALMs':>9} {'DSPs':>6} {'M20K':>6} "
+        f"{'BW GB/s':>8} {'MACs/cy':>8} {'max acc':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in available_devices():
+        device = get_device(name)
+        print(
+            f"{device.name:<18} {device.alms:>9,} {device.dsps:>6,} "
+            f"{device.m20k_blocks:>6,} {device.bandwidth_gbs:>8g} "
+            f"{device.mac_count:>8,} {device.max_accumulators:>8,}"
+        )
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from .dse.partition import partition_study, search_partitions
+    from .shard.link import LinkModel
+
+    device_names = [name.strip() for name in args.devices.split(",") if name.strip()]
+    if not device_names:
+        print("error: --devices needs at least one device name", file=sys.stderr)
+        return 2
+    devices = [get_device(name) for name in device_names]
+    workload = synthetic_model_workload(
+        args.model,
+        seed=args.seed,
+        scale=args.scale,
+        spatial_scale=args.spatial_scale,
+    )
+    link = LinkModel(
+        bandwidth_gbs=args.link_gbs,
+        latency_s=args.link_latency_us * 1e-6,
+        name="cli-link",
+    )
+    if args.trials is not None:
+        result = partition_study(
+            workload,
+            devices,
+            n_shards=args.shards or 2,
+            trials=args.trials,
+            sampler=args.sampler,
+            seed=args.seed,
+            link=link,
+            path=args.study,
+            resume=args.resume,
+        )
+        study = result.study
+        print(
+            f"partition study for {args.model} over "
+            f"{', '.join(device_names)}: {result.sampled_trials} trials "
+            f"sampled of a {result.space_size}-point space"
+        )
+        if result.best is None:
+            print("no feasible pipelined deployment found")
+            return 1
+        print(f"best: {result.best.describe()}")
+        print(
+            f"replication baseline: "
+            f"{result.replication.total_ips:.1f} img/s"
+        )
+        print(
+            f"pareto front: {len(study.front.members)} members, "
+            f"{study.rounds_complete} rounds complete"
+        )
+        return 0
+    result = search_partitions(
+        workload,
+        devices,
+        max_shards=args.shards,
+        link=link,
+        seed=args.seed,
+    )
+    print(result.render())
     return 0
 
 
@@ -691,6 +777,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_roof.add_argument("--device", default="Stratix-V GXA7")
     p_roof.add_argument("--freq", type=float, default=200.0)
     p_roof.set_defaults(func=_cmd_roofline)
+
+    p_dev = sub.add_parser("devices", help="list the FPGA device catalog")
+    p_dev.set_defaults(func=_cmd_devices)
+
+    p_part = sub.add_parser(
+        "partition",
+        help="search layer-pipeline partitions over a device catalog",
+    )
+    p_part.add_argument("--model", choices=("alexnet", "vgg16"), default="vgg16")
+    p_part.add_argument(
+        "--devices",
+        default="Stratix-V GXA7,Stratix-V GXA3",
+        help="comma-separated device names (see `abm-spconv devices`)",
+    )
+    p_part.add_argument(
+        "--shards", type=int, default=None,
+        help="max shard count (exhaustive) or exact count (--trials study)",
+    )
+    p_part.add_argument("--link-gbs", type=float, default=6.0,
+                        help="inter-shard link bandwidth in GB/s")
+    p_part.add_argument("--link-latency-us", type=float, default=5.0,
+                        help="per-transfer link latency in microseconds")
+    p_part.add_argument("--scale", type=float, default=1.0,
+                        help="channel-count multiplier")
+    p_part.add_argument("--spatial-scale", type=float, default=1.0,
+                        help="input-resolution multiplier")
+    p_part.add_argument("--seed", type=int, default=1)
+    p_part.add_argument("--trials", type=int, default=None,
+                        help="run the adaptive partition study with this "
+                             "many sampled trials instead of exhaustion")
+    p_part.add_argument("--sampler", choices=("tpe", "random"), default="tpe")
+    p_part.add_argument("--study", default=None,
+                        help="persist the study as append-only JSONL here")
+    p_part.add_argument("--resume", action="store_true",
+                        help="resume an existing --study file")
+    p_part.set_defaults(func=_cmd_partition)
 
     p_sys = sub.add_parser("system", help="pipelined CPU/FPGA system model")
     p_sys.add_argument("--model", choices=("alexnet", "vgg16"), default="vgg16")

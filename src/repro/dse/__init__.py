@@ -107,6 +107,19 @@ from .adaptive import (
     run_study,
 )
 
+# Partition search builds on both the compiled grid and the study layer.
+from .partition import (
+    PartitionSearchResult,
+    PartitionStudyResult,
+    ReplicationBaseline,
+    clear_partition_cache,
+    partition_cache_stats,
+    partition_space,
+    partition_study,
+    replication_baseline,
+    search_partitions,
+)
+
 __all__ = [
     "BandwidthReport",
     "LayerTraffic",
@@ -186,4 +199,13 @@ __all__ = [
     "exhaustive_search",
     "make_sampler",
     "run_study",
+    "PartitionSearchResult",
+    "PartitionStudyResult",
+    "ReplicationBaseline",
+    "clear_partition_cache",
+    "partition_cache_stats",
+    "partition_space",
+    "partition_study",
+    "replication_baseline",
+    "search_partitions",
 ]

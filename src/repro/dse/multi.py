@@ -18,10 +18,15 @@ import numpy as np
 from ..hw.config import AcceleratorConfig
 from ..hw.device import FPGADevice
 from ..hw.workload import ModelWorkload
-from .compiled import GridEvaluation
-from .explorer import GridPoint, size_buffers, sweep_sec_ncu
+from .compiled import GridEvaluation, compile_workload
+from .explorer import size_buffers, sweep_sec_ncu_reference
 from .performance import MODE_QUANTIZED, estimate_model, share_factor_from_workloads
 from .resources import DEFAULT_RESOURCE_MODEL, ResourceModel
+
+#: The S_ec x N_cu exploration grid of Figure 7 (same axes as
+#: :func:`repro.dse.explorer.sweep_sec_ncu`).
+_S_EC_VALUES = tuple(range(4, 33, 2))
+_N_CU_VALUES = tuple(range(1, 7))
 
 
 @dataclass(frozen=True)
@@ -46,6 +51,11 @@ class JointExplorationResult:
     best_single: Mapping[str, float]
     chosen: JointPoint
     candidates: Tuple[JointPoint, ...]
+    #: Provenance, mirroring :class:`repro.dse.explorer.ExplorationResult`:
+    #: how the joint grid was enumerated, and the seed if a sampler was
+    #: involved (the exhaustive sweep has none).
+    sampler: str = "exhaustive"
+    seed: Optional[int] = None
 
     def render(self) -> str:
         lines = [
@@ -102,6 +112,85 @@ def co_deployment_objectives(
     return combined
 
 
+def _joint_grids(
+    workloads: Sequence[ModelWorkload],
+    device: FPGADevice,
+    resources: ResourceModel,
+    n_share: int,
+    n_knl: int,
+    freq_mhz: float,
+    logic_limit: float,
+    workers: Optional[int],
+    compiled: bool,
+) -> Tuple[List[AcceleratorConfig], List[np.ndarray], List[np.ndarray], np.ndarray]:
+    """Per-model grids in sweep order (N_cu outer, S_ec inner).
+
+    Returns the candidate configs (buffer depths sized for the *first*
+    workload — the covering re-derivation happens after selection), one
+    flat throughput array per model, one per-model feasibility array
+    (for solo bests), and the joint feasibility mask.
+
+    The compiled path runs the whole-grid evaluator per workload and
+    combines them through :func:`co_deployment_objectives`; the reference
+    path scores every point individually (``workers`` fans it over a
+    process pool) and reduces feasibility the same way — the differential
+    tests pin the two float-identical.
+    """
+    flat = [
+        (k, j)
+        for k in range(len(_N_CU_VALUES))
+        for j in range(len(_S_EC_VALUES))
+    ]
+    if compiled:
+        evaluations = [
+            compile_workload(workload, n_share).evaluate_grid(
+                resources,
+                device=device,
+                n_knl_values=(n_knl,),
+                s_ec_values=_S_EC_VALUES,
+                n_cu_values=_N_CU_VALUES,
+                freq_mhz=freq_mhz,
+                logic_limit=logic_limit,
+            )
+            for workload in workloads
+        ]
+        combined = co_deployment_objectives(evaluations)
+        configs = [evaluations[0].config_at(0, j, k) for k, j in flat]
+        throughput = [
+            np.array([float(e.throughput_gops[0, j, k]) for k, j in flat])
+            for e in evaluations
+        ]
+        per_model = [
+            np.array([bool(e.feasible[0, j, k]) for k, j in flat])
+            for e in evaluations
+        ]
+        joint = np.array([bool(combined["feasible"][0, j, k]) for k, j in flat])
+        return configs, throughput, per_model, joint
+    grids = [
+        sweep_sec_ncu_reference(
+            workload,
+            device,
+            resources,
+            n_knl=n_knl,
+            n_share=n_share,
+            freq_mhz=freq_mhz,
+            logic_limit=logic_limit,
+            workers=workers,
+        )
+        for workload in workloads
+    ]
+    configs = [point.config for point in grids[0]]
+    throughput = [
+        np.array([point.throughput_gops for point in grid]) for grid in grids
+    ]
+    per_model = [
+        np.array([point.feasible for point in grid]) for grid in grids
+    ]
+    # Same reduction co_deployment_objectives applies to compiled grids.
+    joint = np.logical_and.reduce(per_model)
+    return configs, throughput, per_model, joint
+
+
 def explore_joint(
     workloads: Sequence[ModelWorkload],
     device: FPGADevice,
@@ -112,6 +201,7 @@ def explore_joint(
     candidates: int = 5,
     workers: Optional[int] = None,
     compiled: bool = True,
+    seed: Optional[int] = None,
 ) -> JointExplorationResult:
     """Pick one configuration serving every workload (max-min normalized).
 
@@ -119,12 +209,14 @@ def explore_joint(
     (smallest intensity ratio), since an under-provisioned multiplier
     array hurts everyone.
 
-    Each workload's S_ec x N_cu grid runs on the compiled whole-grid
-    evaluator by default (and the shared ``size_buffers`` memo means the
-    per-model buffer scans run once per S_ec, not once per grid point);
-    ``compiled=False`` selects the per-point reference path, where
-    ``workers`` parallelizes each grid over a process pool. The chosen
-    point and candidate ranking are identical either way.
+    The S_ec x N_cu grid is scored per workload by the compiled
+    whole-grid evaluator and combined through
+    :func:`co_deployment_objectives` by default; ``compiled=False``
+    selects the per-point reference path, where ``workers`` parallelizes
+    each grid over a process pool. The chosen point and candidate
+    ranking are identical either way. ``seed`` is pure provenance (the
+    exhaustive sweep has no randomness), mirroring
+    :class:`repro.dse.explorer.ExplorationResult`.
     """
     if not workloads:
         raise ValueError("need at least one workload")
@@ -134,56 +226,42 @@ def explore_joint(
     n_share = min(
         share_factor_from_workloads(workload.layers) for workload in workloads
     )
-    # Per-model grids share the (s_ec, n_cu) axes; collect feasible points
-    # present for every model (buffer depths differ per model, so evaluate
-    # each config against each workload with its own buffer sizing).
-    per_model_grid: Dict[str, Dict[Tuple[int, int], GridPoint]] = {}
-    for workload in workloads:
-        grid = sweep_sec_ncu(
-            workload,
-            device,
-            resources,
-            n_knl=n_knl,
-            n_share=n_share,
-            freq_mhz=freq_mhz,
-            logic_limit=logic_limit,
-            workers=workers,
-            compiled=compiled,
-        )
-        per_model_grid[workload.name] = {
-            (point.s_ec, point.n_cu): point for point in grid
-        }
     models = tuple(workload.name for workload in workloads)
+    # Buffer depths differ per model, so every config is evaluated against
+    # each workload with that workload's own buffer sizing.
+    configs, throughput_arrays, feasible_arrays, feasible_mask = _joint_grids(
+        workloads, device, resources, n_share, n_knl, freq_mhz,
+        logic_limit, workers, compiled,
+    )
     best_single = {
-        name: max(
-            (p.throughput_gops for p in grid.values() if p.feasible), default=0.0
+        name: float(
+            max(
+                (
+                    t
+                    for t, ok in zip(throughput_arrays[m], feasible_arrays[m])
+                    if ok
+                ),
+                default=0.0,
+            )
         )
-        for name, grid in per_model_grid.items()
+        for m, name in enumerate(models)
     }
     joint: List[JointPoint] = []
-    first_grid = per_model_grid[models[0]]
-    for key, first_point in first_grid.items():
-        throughput = {}
-        feasible = True
-        for name in models:
-            point = per_model_grid[name].get(key)
-            if point is None:
-                feasible = False
-                break
-            throughput[name] = point.throughput_gops
-            feasible = feasible and point.feasible
-        if len(throughput) != len(models):
-            continue
+    for index, config in enumerate(configs):
+        throughput = {
+            name: float(throughput_arrays[m][index])
+            for m, name in enumerate(models)
+        }
         normalized = {
             name: (throughput[name] / best_single[name] if best_single[name] else 0.0)
             for name in models
         }
         joint.append(
             JointPoint(
-                config=first_point.config,
+                config=config,
                 throughput=throughput,
                 normalized=normalized,
-                feasible=feasible,
+                feasible=bool(feasible_mask[index]),
             )
         )
     feasible_points = [point for point in joint if point.feasible]
@@ -228,4 +306,6 @@ def explore_joint(
         best_single=best_single,
         chosen=chosen,
         candidates=tuple(ranked[:candidates]),
+        sampler="exhaustive",
+        seed=seed,
     )

@@ -1,0 +1,564 @@
+"""Partition search: co-optimizing cuts, devices and shard configs.
+
+The paper's flow picks one configuration for one device. This module
+searches *pipelined deployments* over a heterogeneous device catalog
+(HPIPE's regime, see PAPERS.md): contiguous layer cuts split the model
+into shards, every shard gets its own device and its own best
+accelerator configuration (buffer depths sized to *its* layers only —
+a conv-only shard needs a fraction of the whole model's D_f, which frees
+M20K blocks for more compute units), and inter-shard activation traffic
+is priced through a :class:`repro.shard.link.LinkModel`.
+
+Pipeline timing is the deterministic tandem-line law pinned by
+:mod:`repro.shard.pipeline_sim`: steady-state throughput is the
+bottleneck stage's (or link's) rate, latency is the fill sum. The
+replication baseline the search must beat runs the whole model solo on
+every catalog device — a device that cannot fit the whole model
+contributes zero there, but can still carry a light shard in a pipeline,
+which is exactly where partitioned deployments win.
+
+Two search modes share one memoized evaluator (telemetry cache family
+``dse.partition``):
+
+- :func:`search_partitions` — exhaustive over contiguous cuts and
+  injective device assignments, exact for small shard counts;
+- :func:`partition_study` — the joint (cuts x assignment) space wired
+  into the adaptive TPE/study machinery of :mod:`repro.dse.study`, for
+  catalogs and depths where exhaustion stops being free.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from itertools import combinations, permutations
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..hw.config import AcceleratorConfig
+from ..hw.device import FPGADevice
+from ..hw.workload import ModelWorkload
+from ..shard.link import DEFAULT_LINK, LinkModel
+from ..shard.plan import ModelPartition, ShardPlan, ShardSpec
+from ..telemetry.caches import CacheStats, register_cache
+from .adaptive import make_sampler
+from .compiled import compile_workload
+from .performance import share_factor_from_workloads
+from .resources import DEFAULT_RESOURCE_MODEL, ResourceModel
+from .study import (
+    ORIGIN_SAMPLED,
+    Objective,
+    SearchSpace,
+    Study,
+    StudySpec,
+    TrialRecord,
+)
+
+__all__ = [
+    "PARTITION_CACHE_CAPACITY",
+    "PartitionSearchResult",
+    "PartitionStudyResult",
+    "ReplicationBaseline",
+    "clear_partition_cache",
+    "partition_cache_stats",
+    "partition_space",
+    "partition_study",
+    "replication_baseline",
+    "search_partitions",
+]
+
+#: Default exploration grid per shard — the paper's Figure 7 axes.
+_S_EC_RANGE = tuple(range(4, 33, 2))
+_N_CU_RANGE = tuple(range(1, 7))
+
+
+# ---------------------------------------------------------------------------
+# Memoized per-(layer slice, device) shard evaluation.
+# ---------------------------------------------------------------------------
+
+#: Memoized shard evaluations. Every cut set re-uses O(L^2) contiguous
+#: slices, so the memo turns the cut x assignment product into one grid
+#: evaluation per (slice, device).
+PARTITION_CACHE_CAPACITY = 4096
+
+_partition_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+_partition_lock = threading.Lock()
+_partition_hits = 0
+_partition_misses = 0
+_partition_evictions = 0
+
+
+def clear_partition_cache() -> None:
+    """Drop every memoized shard evaluation."""
+    global _partition_hits, _partition_misses, _partition_evictions
+    with _partition_lock:
+        _partition_cache.clear()
+        _partition_hits = 0
+        _partition_misses = 0
+        _partition_evictions = 0
+
+
+def partition_cache_stats() -> CacheStats:
+    """Hit/miss/eviction accounting of the shard-evaluation memo."""
+    with _partition_lock:
+        return CacheStats(
+            hits=_partition_hits,
+            misses=_partition_misses,
+            evictions=_partition_evictions,
+            size=len(_partition_cache),
+            capacity=PARTITION_CACHE_CAPACITY,
+            name="dse.partition",
+        )
+
+
+register_cache("dse.partition", partition_cache_stats)
+
+
+@dataclass(frozen=True)
+class _ShardEval:
+    """Best feasible configuration of one layer slice on one device."""
+
+    config: AcceleratorConfig
+    seconds_per_image: float
+    throughput_gops: float
+
+
+def _best_shard_config(
+    workload: ModelWorkload,
+    start: int,
+    end: int,
+    device: FPGADevice,
+    resources: ResourceModel,
+    n_knl: int,
+    freq_mhz: float,
+    logic_limit: float,
+) -> Optional[_ShardEval]:
+    """Best feasible config for layers ``[start, end)`` on ``device``.
+
+    ``None`` when no grid point fits the device — the slice (or whole
+    model, for the replication baseline) is infeasible there. Memoized;
+    entries pin the workload so its ``id`` cannot be recycled while live.
+    """
+    global _partition_hits, _partition_misses, _partition_evictions
+    key = (
+        id(workload),
+        start,
+        end,
+        device.name,
+        n_knl,
+        freq_mhz,
+        logic_limit,
+        id(resources),
+    )
+    with _partition_lock:
+        hit = _partition_cache.get(key)
+        if hit is not None:
+            _partition_cache.move_to_end(key)
+            _partition_hits += 1
+            return hit[2]
+        _partition_misses += 1
+    layers = workload.layers[start:end]
+    shard = ModelWorkload(
+        name=f"{workload.name}[{start}:{end}]", layers=layers
+    )
+    n_share = share_factor_from_workloads(layers)
+    evaluation = compile_workload(shard, n_share).evaluate_grid(
+        resources,
+        device=device,
+        n_knl_values=(n_knl,),
+        s_ec_values=_S_EC_RANGE,
+        n_cu_values=_N_CU_RANGE,
+        freq_mhz=freq_mhz,
+        logic_limit=logic_limit,
+    )
+    result: Optional[_ShardEval] = None
+    if evaluation.feasible.any():
+        cycles = np.where(evaluation.feasible, evaluation.cycles_per_image, np.inf)
+        idx = np.unravel_index(int(np.argmin(cycles)), cycles.shape)
+        result = _ShardEval(
+            config=evaluation.config_at(*idx),
+            seconds_per_image=float(cycles[idx]) / (freq_mhz * 1e6),
+            throughput_gops=float(evaluation.throughput_gops[idx]),
+        )
+    with _partition_lock:
+        _partition_cache[key] = (workload, resources, result)
+        while len(_partition_cache) > PARTITION_CACHE_CAPACITY:
+            _partition_cache.popitem(last=False)
+            _partition_evictions += 1
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Replication baseline.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplicationBaseline:
+    """The whole catalog running whole-model replicas (no pipelining).
+
+    Each device serves complete requests with its own best whole-model
+    configuration; devices that cannot fit the whole model contribute
+    zero — they idle, which is the waste pipelining recovers.
+    """
+
+    model: str
+    per_device_ips: Mapping[str, float]
+
+    @property
+    def total_ips(self) -> float:
+        return sum(self.per_device_ips.values())
+
+    @property
+    def feasible_devices(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(n for n, ips in self.per_device_ips.items() if ips > 0)
+        )
+
+
+def replication_baseline(
+    workload: ModelWorkload,
+    devices: Sequence[FPGADevice],
+    resources: ResourceModel = DEFAULT_RESOURCE_MODEL,
+    n_knl: int = 14,
+    freq_mhz: float = 200.0,
+    logic_limit: float = 0.75,
+) -> ReplicationBaseline:
+    """Aggregate throughput of whole-model replicas across the catalog."""
+    if not devices:
+        raise ValueError("need at least one device")
+    per_device: Dict[str, float] = {}
+    for device in devices:
+        best = _best_shard_config(
+            workload, 0, len(workload.layers), device, resources,
+            n_knl, freq_mhz, logic_limit,
+        )
+        per_device[device.name] = (
+            1.0 / best.seconds_per_image if best is not None else 0.0
+        )
+    return ReplicationBaseline(model=workload.name, per_device_ips=per_device)
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive search.
+# ---------------------------------------------------------------------------
+
+
+def _plan_for(
+    workload: ModelWorkload,
+    cuts: Tuple[int, ...],
+    assignment: Sequence[FPGADevice],
+    resources: ResourceModel,
+    n_knl: int,
+    freq_mhz: float,
+    logic_limit: float,
+    link: LinkModel,
+) -> Optional[ShardPlan]:
+    """Price one (cuts, device assignment) point; None when infeasible."""
+    partition = ModelPartition(workload=workload, cuts=cuts)
+    bounds = partition.boundaries
+    shards: List[ShardSpec] = []
+    for i, device in enumerate(assignment):
+        best = _best_shard_config(
+            workload, bounds[i], bounds[i + 1], device, resources,
+            n_knl, freq_mhz, logic_limit,
+        )
+        if best is None:
+            return None
+        slice_layers = workload.layers[bounds[i] : bounds[i + 1]]
+        shards.append(
+            ShardSpec(
+                index=i,
+                layers=tuple(l.spec.name for l in slice_layers),
+                device=device,
+                config=best.config,
+                seconds_per_image=best.seconds_per_image,
+                dense_ops_per_image=sum(
+                    l.spec.dense_ops for l in slice_layers
+                ),
+            )
+        )
+    transfers = tuple(
+        link.transfer(elements) for elements in partition.cut_elements()
+    )
+    return ShardPlan(
+        model=workload.name,
+        shards=tuple(shards),
+        transfers=transfers,
+        dense_ops_per_image=workload.dense_ops,
+    )
+
+
+def _rank_key(plan: ShardPlan) -> Tuple[float, float, int]:
+    """Deterministic ranking: rate first, then fill, then fewer shards."""
+    return (-plan.throughput_ips, plan.fill_latency_s, plan.n_shards)
+
+
+@dataclass(frozen=True)
+class PartitionSearchResult:
+    """Outcome of one partition search over a device catalog."""
+
+    model: str
+    devices: Tuple[FPGADevice, ...]
+    link: LinkModel
+    best: ShardPlan
+    candidates: Tuple[ShardPlan, ...]
+    replication: ReplicationBaseline
+    evaluated: int
+    space_size: int
+    sampler: str = "exhaustive"
+    seed: Optional[int] = None
+
+    @property
+    def speedup_vs_replication(self) -> float:
+        """Pipelined best over the replicated catalog (images/s ratio)."""
+        total = self.replication.total_ips
+        return self.best.throughput_ips / total if total > 0 else float("inf")
+
+    def render(self) -> str:
+        lines = [
+            f"partition search for {self.model} over "
+            f"{', '.join(d.name for d in self.devices)} "
+            f"({self.evaluated}/{self.space_size} points, {self.sampler})",
+            f"best: {self.best.describe()}",
+            f"replication baseline: {self.replication.total_ips:.1f} img/s "
+            f"({', '.join(self.replication.feasible_devices) or 'no feasible device'})",
+            f"pipelined vs replicated: {self.speedup_vs_replication:.2f}x",
+        ]
+        for plan in self.candidates[1:4]:
+            lines.append(f"  alt: {plan.describe()}")
+        return "\n".join(lines)
+
+
+def search_partitions(
+    workload: ModelWorkload,
+    devices: Sequence[FPGADevice],
+    resources: ResourceModel = DEFAULT_RESOURCE_MODEL,
+    max_shards: Optional[int] = None,
+    n_knl: int = 14,
+    freq_mhz: float = 200.0,
+    logic_limit: float = 0.75,
+    link: LinkModel = DEFAULT_LINK,
+    candidates: int = 5,
+    seed: Optional[int] = None,
+) -> PartitionSearchResult:
+    """Exhaustive search over contiguous cuts and device assignments.
+
+    Every shard count up to ``max_shards`` (default: the catalog size,
+    capped at 3), every strictly increasing cut set, and every injective
+    device assignment is priced; the per-slice evaluations are memoized,
+    so the combinatorial product collapses to one compiled grid per
+    (slice, device). Ranking is bottleneck rate, then fill latency.
+
+    ``seed`` is pure provenance (the exhaustive search has no internal
+    randomness), mirroring :class:`repro.dse.explorer.ExplorationResult`.
+    """
+    if not devices:
+        raise ValueError("need at least one device")
+    names = [d.name for d in devices]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate devices in catalog: {names}")
+    n_layers = len(workload.layers)
+    if n_layers < 1:
+        raise ValueError("workload has no layers")
+    if max_shards is None:
+        max_shards = min(len(devices), 3)
+    max_shards = min(max_shards, len(devices), n_layers)
+    if max_shards < 1:
+        raise ValueError("max_shards must be >= 1")
+
+    plans: List[ShardPlan] = []
+    evaluated = 0
+    space_size = 0
+    for k in range(1, max_shards + 1):
+        for cuts in combinations(range(1, n_layers), k - 1):
+            for assignment in permutations(devices, k):
+                space_size += 1
+                plan = _plan_for(
+                    workload, cuts, assignment, resources,
+                    n_knl, freq_mhz, logic_limit, link,
+                )
+                evaluated += 1
+                if plan is not None:
+                    plans.append(plan)
+    if not plans:
+        raise RuntimeError(
+            f"no feasible deployment of {workload.name!r} on "
+            f"{', '.join(names)}"
+        )
+    plans.sort(key=_rank_key)
+    baseline = replication_baseline(
+        workload, devices, resources, n_knl, freq_mhz, logic_limit
+    )
+    return PartitionSearchResult(
+        model=workload.name,
+        devices=tuple(devices),
+        link=link,
+        best=plans[0],
+        candidates=tuple(plans[:candidates]),
+        replication=baseline,
+        evaluated=evaluated,
+        space_size=space_size,
+        sampler="exhaustive",
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Adaptive study over the joint (cuts x assignment) space.
+# ---------------------------------------------------------------------------
+
+
+def partition_space(n_layers: int, n_devices: int, n_shards: int) -> SearchSpace:
+    """The joint categorical space of a fixed-shard-count partition study.
+
+    Axes ``cut1..cut{K-1}`` hold layer indices; ``device0..device{K-1}``
+    hold catalog indices. Orderings that are not strictly increasing (or
+    assignments that reuse a board) are scored infeasible rather than
+    excluded, keeping the space a plain product the samplers understand.
+    """
+    if n_shards < 2:
+        raise ValueError("a partition study needs at least 2 shards")
+    if n_shards > min(n_layers, n_devices):
+        raise ValueError(
+            f"{n_shards} shards do not fit {n_layers} layers on "
+            f"{n_devices} devices"
+        )
+    axes: List[Tuple[str, Tuple[float, ...]]] = []
+    cut_values = tuple(float(c) for c in range(1, n_layers))
+    for i in range(1, n_shards):
+        axes.append((f"cut{i}", cut_values))
+    device_values = tuple(float(d) for d in range(n_devices))
+    for i in range(n_shards):
+        axes.append((f"device{i}", device_values))
+    return SearchSpace(axes=tuple(axes))
+
+
+@dataclass(frozen=True)
+class PartitionStudyResult:
+    """Outcome of a sampled partition study."""
+
+    study: Study
+    best: Optional[ShardPlan]
+    replication: ReplicationBaseline
+    sampled_trials: int
+    space_size: int
+
+
+def partition_study(
+    workload: ModelWorkload,
+    devices: Sequence[FPGADevice],
+    n_shards: int = 2,
+    trials: int = 64,
+    sampler: str = "tpe",
+    seed: int = 1,
+    resources: ResourceModel = DEFAULT_RESOURCE_MODEL,
+    n_knl: int = 14,
+    freq_mhz: float = 200.0,
+    logic_limit: float = 0.75,
+    link: LinkModel = DEFAULT_LINK,
+    batch: int = 8,
+    path: Optional[str] = None,
+    resume: bool = False,
+) -> PartitionStudyResult:
+    """Sample the joint (cuts x assignment) space with the study machinery.
+
+    Objectives are pipeline throughput (primary, maximized) and fill
+    latency (minimized); the Pareto front and every trial persist through
+    the same append-only JSONL format as :func:`repro.dse.adaptive.run_study`,
+    with the same ``default_rng([seed, round])`` determinism, so studies
+    can be killed and resumed byte-identically.
+    """
+    n_layers = len(workload.layers)
+    space = partition_space(n_layers, len(devices), n_shards)
+    objectives = (
+        Objective("throughput_ips", "max"),
+        Objective("fill_latency_s", "min"),
+    )
+    spec = StudySpec(
+        name=f"partition:{workload.name}",
+        models=(workload.name,),
+        device="+".join(d.name for d in devices),
+        sampler=sampler,
+        seed=seed,
+        objectives=objectives,
+        space=space,
+        batch=batch,
+    )
+    if resume and path is not None:
+        study = Study.load(path, spec=spec)
+    else:
+        study = Study.create(spec, path)
+    sampler_obj = make_sampler(sampler)
+    seen: Set[Tuple[float, ...]] = {space.key(t.params) for t in study.trials}
+
+    def _evaluate(params: Mapping[str, float]) -> Tuple[Dict[str, float], bool]:
+        cuts = tuple(int(params[f"cut{i}"]) for i in range(1, n_shards))
+        picks = tuple(int(params[f"device{i}"]) for i in range(n_shards))
+        ordered = all(b > a for a, b in zip(cuts, cuts[1:]))
+        if not ordered or len(set(picks)) != len(picks):
+            return {}, False
+        plan = _plan_for(
+            workload, cuts, [devices[p] for p in picks], resources,
+            n_knl, freq_mhz, logic_limit, link,
+        )
+        if plan is None:
+            return {}, False
+        return (
+            {
+                "throughput_ips": plan.throughput_ips,
+                "fill_latency_s": plan.fill_latency_s,
+            },
+            True,
+        )
+
+    round_index = study.rounds_complete
+    while study.sampled_count() < trials:
+        rng = np.random.default_rng([seed, round_index])
+        count = min(batch, trials - study.sampled_count())
+        proposals = sampler_obj.propose(
+            space, study.trials, spec.primary, rng, count, seen
+        )
+        if not proposals:
+            break  # space exhausted
+        for params in proposals:
+            seen.add(space.key(params))
+            values, feasible = _evaluate(params)
+            study.append_trial(
+                TrialRecord(
+                    number=len(study.trials),
+                    round=round_index,
+                    origin=ORIGIN_SAMPLED,
+                    params=dict(params),
+                    values=values,
+                    feasible=feasible,
+                )
+            )
+        study.end_round(round_index, len(seen))
+        round_index += 1
+
+    best_trial = study.best("throughput_ips")
+    best_plan: Optional[ShardPlan] = None
+    if best_trial is not None:
+        cuts = tuple(
+            int(best_trial.params[f"cut{i}"]) for i in range(1, n_shards)
+        )
+        picks = [
+            devices[int(best_trial.params[f"device{i}"])]
+            for i in range(n_shards)
+        ]
+        best_plan = _plan_for(
+            workload, cuts, picks, resources, n_knl, freq_mhz, logic_limit, link
+        )
+    baseline = replication_baseline(
+        workload, devices, resources, n_knl, freq_mhz, logic_limit
+    )
+    return PartitionStudyResult(
+        study=study,
+        best=best_plan,
+        replication=baseline,
+        sampled_trials=study.sampled_count(),
+        space_size=space.size,
+    )

@@ -84,9 +84,38 @@ ARRIA_10_GT1150 = FPGADevice(
     bandwidth_gbs=19.2,
 )
 
+#: Mid-size Stratix-V sibling (GXA3-class inventory, same DDR3 board
+#: bandwidth as the DE5-Net). Figures are datasheet approximations for
+#: partition modeling, not a calibrated board.
+STRATIX_V_GXA3 = FPGADevice(
+    name="Stratix-V GXA3",
+    alms=128_300,
+    dsps=256,
+    m20k_blocks=957,
+    bandwidth_gbs=12.8,
+)
+
+#: Cyclone-V SoC-class small part (SE-A6-like inventory, single-channel
+#: DDR3). Too small to hold the whole-model buffers of the evaluated
+#: networks — it exists to carry *light shards* in pipelined
+#: deployments, where it turns otherwise-idle silicon into throughput.
+CYCLONE_V_SE = FPGADevice(
+    name="Cyclone-V SE",
+    alms=41_910,
+    dsps=112,
+    m20k_blocks=557,
+    bandwidth_gbs=6.4,
+)
+
 _CATALOG: Dict[str, FPGADevice] = {
     device.name.lower(): device
-    for device in (STRATIX_V_GXA7, ARRIA_10_GX1150, ARRIA_10_GT1150)
+    for device in (
+        STRATIX_V_GXA7,
+        ARRIA_10_GX1150,
+        ARRIA_10_GT1150,
+        STRATIX_V_GXA3,
+        CYCLONE_V_SE,
+    )
 }
 
 

@@ -34,7 +34,20 @@ from .events import (
     EventRequest,
     SLOClass,
 )
-from .fleet import AutoscalePolicy, Fleet, Instance, ScaleEvent, ServiceProfile
+from .fleet import (
+    AutoscalePolicy,
+    Fleet,
+    Instance,
+    PipelinedProfile,
+    ScaleEvent,
+    ServiceProfile,
+)
+from .mixed import (
+    FleetGroup,
+    MixedFleetReport,
+    simulate_mixed_fleet,
+    trace_requests,
+)
 from .loadgen import (
     LoadTrace,
     TRACE_KINDS,
@@ -67,9 +80,12 @@ __all__ = [
     "EventReport",
     "EventRequest",
     "Fleet",
+    "FleetGroup",
     "Instance",
     "LRUCache",
     "LoadTrace",
+    "MixedFleetReport",
+    "PipelinedProfile",
     "Rejection",
     "SLOClass",
     "ScaleEvent",
@@ -89,6 +105,8 @@ __all__ = [
     "make_trace",
     "poisson_arrivals",
     "poisson_trace",
+    "simulate_mixed_fleet",
+    "trace_requests",
     "uniform_arrivals",
     "uniform_trace",
 ]

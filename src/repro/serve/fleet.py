@@ -24,6 +24,7 @@ __all__ = [
     "AutoscalePolicy",
     "Fleet",
     "Instance",
+    "PipelinedProfile",
     "ScaleEvent",
     "ServiceProfile",
 ]
@@ -93,6 +94,103 @@ class ServiceProfile:
             ),
             dense_ops_per_image=simulation.dense_ops,
             name=runtime.pipeline.network.name,
+        )
+
+
+@dataclass(frozen=True)
+class PipelinedProfile:
+    """Timing model of one *pipelined* deployment (a shard group).
+
+    Generalizes :class:`ServiceProfile` from the two-stage CPU/FPGA
+    pipeline to an N-stage layer-pipeline over heterogeneous devices
+    (:mod:`repro.shard`): ``stage_s`` are the per-shard service times and
+    ``link_s`` the inter-shard transfer times, interleaved in stream
+    order. The deterministic tandem-line law pinned by
+    :mod:`repro.shard.pipeline_sim` gives
+
+        T(B) = fill + (B - 1) * bottleneck
+
+    for any inter-stage queue depth >= 1, where ``fill`` is the sum of
+    all stage and link times and ``bottleneck`` the maximum — the same
+    shape as the two-stage formula, so the profile duck-types straight
+    into :class:`Fleet` and the event engine. The arithmetic mirrors
+    :meth:`repro.shard.plan.ShardPlan.batch_seconds` term for term, so
+    event-engine virtual times are bit-equal to the plan's estimates.
+    """
+
+    stage_s: Tuple[float, ...]
+    link_s: Tuple[float, ...] = ()
+    dense_ops_per_image: int = 0
+    name: str = "pipeline"
+    #: Modeled inter-stage FIFO depth (throughput-neutral for depth >= 1;
+    #: carried for the telemetry gauges and the simulator cross-check).
+    queue_depth: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.stage_s:
+            raise ValueError("a pipelined profile needs at least one stage")
+        if any(t <= 0 for t in self.stage_s):
+            raise ValueError("stage times must be positive")
+        if len(self.link_s) != len(self.stage_s) - 1:
+            raise ValueError(
+                f"{len(self.stage_s)} stages need {len(self.stage_s) - 1} "
+                f"links, got {len(self.link_s)}"
+            )
+        if any(t < 0 for t in self.link_s):
+            raise ValueError("link times cannot be negative")
+        if self.dense_ops_per_image < 0:
+            raise ValueError("dense ops cannot be negative")
+        if self.queue_depth < 1:
+            raise ValueError("queue depth must be >= 1")
+
+    @property
+    def service_times(self) -> Tuple[float, ...]:
+        """Stage and link times interleaved in stream order."""
+        times: List[float] = []
+        for i, stage in enumerate(self.stage_s):
+            times.append(stage)
+            if i < len(self.link_s):
+                times.append(self.link_s[i])
+        return tuple(times)
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stage_s)
+
+    @property
+    def step_s(self) -> float:
+        """Steady-state per-image time: the bottleneck stage or link."""
+        return max(self.service_times)
+
+    @property
+    def fill_s(self) -> float:
+        """One image's latency through the empty pipeline."""
+        return sum(self.service_times)
+
+    @property
+    def capacity_rps(self) -> float:
+        """Saturated throughput of the whole pipelined group."""
+        return 1.0 / self.step_s
+
+    def batch_seconds(self, batch_size: int) -> float:
+        """Makespan of one batch — same arithmetic as ``ShardPlan``."""
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        return self.fill_s + (batch_size - 1) * self.step_s
+
+    @classmethod
+    def from_shard_plan(cls, plan, queue_depth: int = 2) -> "PipelinedProfile":
+        """Profile of a planned shard pipeline (`repro.shard.plan.ShardPlan`).
+
+        Copies the exact floats of the plan's timing model, so serving
+        estimates agree with the partition search bit for bit.
+        """
+        return cls(
+            stage_s=tuple(s.seconds_per_image for s in plan.shards),
+            link_s=tuple(t.seconds for t in plan.transfers),
+            dense_ops_per_image=plan.dense_ops_per_image,
+            name=f"{plan.model}:pipeline",
+            queue_depth=queue_depth,
         )
 
 

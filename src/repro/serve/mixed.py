@@ -1,0 +1,201 @@
+"""Mixed fleets: replica groups and pipelined groups, per SLO class.
+
+A real deployment of the partitioned designs (:mod:`repro.shard`) is
+rarely homogeneous: latency-sensitive traffic goes to single-device
+replicas (short fill), while bulk traffic goes to layer-pipelined
+shard groups whose bottleneck rate is higher but whose fill latency is
+longer. A :class:`FleetGroup` binds one timing profile — a two-stage
+:class:`repro.serve.fleet.ServiceProfile` or an N-stage
+:class:`repro.serve.fleet.PipelinedProfile` — to the SLO classes it
+serves; :func:`simulate_mixed_fleet` routes a request population by SLO
+class and runs each group through its own
+:class:`repro.serve.events.EventDrivenSimulator`, merging the per-group
+reports. Groups are independent pools (no work stealing across groups),
+which is exactly the static-routing deployment the partition search
+sizes; everything stays on the event engine's virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .batcher import BatchPolicy
+from .events import (
+    DEFAULT_SLO,
+    EventDrivenSimulator,
+    EventReport,
+    EventRequest,
+    SLOClass,
+)
+from .fleet import AutoscalePolicy
+from .loadgen import LoadTrace
+
+__all__ = [
+    "FleetGroup",
+    "MixedFleetReport",
+    "simulate_mixed_fleet",
+    "trace_requests",
+]
+
+
+@dataclass(frozen=True)
+class FleetGroup:
+    """One homogeneous pool inside a mixed fleet.
+
+    ``profile`` is any object with the service-profile surface
+    (``fill_s``/``step_s``/``batch_seconds``/``dense_ops_per_image``) —
+    replica groups pass a ``ServiceProfile``, pipelined groups a
+    ``PipelinedProfile``. ``slo_classes`` names the classes this group
+    owns; routing is static and exclusive.
+    """
+
+    name: str
+    profile: object
+    instances: int = 1
+    slo_classes: Tuple[str, ...] = (DEFAULT_SLO.name,)
+    continuous: bool = False
+    autoscale: Optional[AutoscalePolicy] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a fleet group needs a name")
+        if self.instances < 1:
+            raise ValueError(f"group {self.name!r} needs >= 1 instance")
+        if not self.slo_classes:
+            raise ValueError(f"group {self.name!r} serves no SLO class")
+        if len(set(self.slo_classes)) != len(self.slo_classes):
+            raise ValueError(
+                f"group {self.name!r} lists duplicate SLO classes"
+            )
+
+
+@dataclass(frozen=True)
+class MixedFleetReport:
+    """Merged outcome of one mixed-fleet run (one report per group)."""
+
+    groups: Tuple[str, ...]
+    reports: Mapping[str, EventReport]
+    #: Groups that received no traffic (not simulated, no report).
+    idle_groups: Tuple[str, ...] = field(default=())
+
+    def report_for(self, group: str) -> EventReport:
+        if group not in self.reports:
+            raise KeyError(
+                f"no report for group {group!r} "
+                f"(simulated: {sorted(self.reports)}, idle: {self.idle_groups})"
+            )
+        return self.reports[group]
+
+    @property
+    def offered(self) -> int:
+        return sum(r.offered for r in self.reports.values())
+
+    @property
+    def served(self) -> int:
+        return sum(r.served for r in self.reports.values())
+
+    @property
+    def rejected(self) -> int:
+        return sum(r.rejected for r in self.reports.values())
+
+    @property
+    def makespan_s(self) -> float:
+        """Virtual time the *last* group finished (groups run in parallel)."""
+        return max(r.makespan_s for r in self.reports.values())
+
+    @property
+    def requests_per_second(self) -> float:
+        makespan = self.makespan_s
+        return self.served / makespan if makespan > 0 else 0.0
+
+
+def trace_requests(trace: LoadTrace) -> Tuple[EventRequest, ...]:
+    """Materialize a :class:`LoadTrace` as routable event requests."""
+    names = trace.class_names
+    return tuple(
+        EventRequest(
+            request_id=i,
+            arrival_s=float(arrival),
+            slo=names[class_id],
+        )
+        for i, (arrival, class_id) in enumerate(
+            zip(trace.arrivals.tolist(), trace.class_ids.tolist())
+        )
+    )
+
+
+def simulate_mixed_fleet(
+    groups: Sequence[FleetGroup],
+    requests: Sequence[EventRequest],
+    policy: BatchPolicy,
+    classes: Sequence[SLOClass] = (DEFAULT_SLO,),
+    telemetry=None,
+    record_spans: bool = True,
+    collect_records: bool = True,
+) -> MixedFleetReport:
+    """Route requests by SLO class and simulate every group's pool.
+
+    Every SLO class must be owned by exactly one group, and every group
+    must only claim known classes — misrouted traffic is a configuration
+    error, not a silent drop. Groups whose classes received no requests
+    are reported idle. All groups share the same batch policy (per-class
+    deadlines still come from :class:`SLOClass.max_wait_s`) and, when a
+    telemetry context is given, the same metrics registry.
+    """
+    if not groups:
+        raise ValueError("need at least one fleet group")
+    names = [g.name for g in groups]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate group names: {names}")
+    class_by_name = {slo.name: slo for slo in classes}
+    owner: Dict[str, FleetGroup] = {}
+    for group in groups:
+        for slo_name in group.slo_classes:
+            if slo_name not in class_by_name:
+                raise ValueError(
+                    f"group {group.name!r} claims unknown SLO class "
+                    f"{slo_name!r} (known: {sorted(class_by_name)})"
+                )
+            if slo_name in owner:
+                raise ValueError(
+                    f"SLO class {slo_name!r} claimed by both "
+                    f"{owner[slo_name].name!r} and {group.name!r}"
+                )
+            owner[slo_name] = group
+    unowned = sorted(set(class_by_name) - set(owner))
+    if unowned:
+        raise ValueError(f"SLO classes {unowned} are not served by any group")
+
+    routed: Dict[str, List[EventRequest]] = {g.name: [] for g in groups}
+    for request in requests:
+        group = owner.get(request.slo)
+        if group is None:
+            raise ValueError(f"request {request.request_id} has unknown "
+                             f"SLO class {request.slo!r}")
+        routed[group.name].append(request)
+
+    reports: Dict[str, EventReport] = {}
+    idle: List[str] = []
+    for group in groups:
+        subset = routed[group.name]
+        if not subset:
+            idle.append(group.name)
+            continue
+        simulator = EventDrivenSimulator(
+            profile=group.profile,
+            policy=policy,
+            classes=tuple(class_by_name[n] for n in group.slo_classes),
+            instances=group.instances,
+            continuous=group.continuous,
+            autoscale=group.autoscale,
+            telemetry=telemetry,
+            record_spans=record_spans,
+            collect_records=collect_records,
+        )
+        reports[group.name] = simulator.run(subset)
+    return MixedFleetReport(
+        groups=tuple(names),
+        reports=reports,
+        idle_groups=tuple(idle),
+    )

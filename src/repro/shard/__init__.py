@@ -1,0 +1,52 @@
+"""Layer-pipeline sharding of compiled models across device catalogs.
+
+The subsystem splits a fused :class:`repro.core.model_plan.ModelPlan`
+into contiguous shards (:mod:`repro.shard.plan`), prices inter-shard
+activation traffic through a bandwidth/latency link model
+(:mod:`repro.shard.link`), and validates pipeline timing against a
+finite-FIFO tandem-line simulation (:mod:`repro.shard.pipeline_sim`).
+The partition *search* lives in :mod:`repro.dse.partition`; pipelined
+serving in :mod:`repro.serve`.
+"""
+
+from .link import DEFAULT_LINK, LinkModel, LinkTransfer
+from .plan import (
+    SHARDED_PLAN_CACHE_CAPACITY,
+    ModelPartition,
+    ShardPlan,
+    ShardSpec,
+    ShardedModelPlan,
+    clear_sharded_plan_cache,
+    compile_sharded_plan,
+    sharded_plan_cache_stats,
+    sharded_run_batch,
+    stage_cuts_for_layers,
+)
+from .pipeline_sim import (
+    PipelineSimReport,
+    analytic_bottleneck_s,
+    analytic_fill_s,
+    simulate_pipeline,
+    simulate_shard_plan,
+)
+
+__all__ = [
+    "DEFAULT_LINK",
+    "LinkModel",
+    "LinkTransfer",
+    "ModelPartition",
+    "PipelineSimReport",
+    "SHARDED_PLAN_CACHE_CAPACITY",
+    "ShardPlan",
+    "ShardSpec",
+    "ShardedModelPlan",
+    "analytic_bottleneck_s",
+    "analytic_fill_s",
+    "clear_sharded_plan_cache",
+    "compile_sharded_plan",
+    "sharded_plan_cache_stats",
+    "sharded_run_batch",
+    "simulate_pipeline",
+    "simulate_shard_plan",
+    "stage_cuts_for_layers",
+]

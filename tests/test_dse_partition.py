@@ -1,0 +1,245 @@
+"""Partition search over heterogeneous device catalogs (repro.dse.partition).
+
+Pins the acceptance story of the partitioned-deployment PR: the
+exhaustive search finds a pipelined plan that *beats single-device
+replication* for a real (model, catalog) pair; the memoized shard
+evaluator keeps honest telemetry counters; and the adaptive study path
+shares the exact study/sampler determinism of repro.dse.adaptive
+(resume included).
+"""
+
+import pytest
+
+from repro.dse.partition import (
+    PartitionSearchResult,
+    clear_partition_cache,
+    partition_cache_stats,
+    partition_space,
+    partition_study,
+    replication_baseline,
+    search_partitions,
+)
+from repro.hw.device import (
+    ARRIA_10_GX1150,
+    CYCLONE_V_SE,
+    STRATIX_V_GXA3,
+    STRATIX_V_GXA7,
+)
+from repro.shard import LinkModel
+from repro.workloads import synthetic_model_workload
+
+BENCH_SCALE = dict(scale=0.25, spatial_scale=0.25)
+
+
+@pytest.fixture(autouse=True)
+def fresh_partition_cache():
+    clear_partition_cache()
+    yield
+    clear_partition_cache()
+
+
+@pytest.fixture(scope="module")
+def vgg_quarter():
+    return synthetic_model_workload("vgg16", seed=1, **BENCH_SCALE)
+
+
+@pytest.fixture(scope="module")
+def alexnet_half():
+    return synthetic_model_workload(
+        "alexnet", seed=1, scale=0.5, spatial_scale=0.5
+    )
+
+
+class TestExhaustiveSearch:
+    def test_pipelined_beats_replication(self, vgg_quarter):
+        """The PR's acceptance pair: bench-scale VGG16 over GXA7+GXA3.
+
+        The GXA3 is whole-model feasible but slow; giving it the light
+        front shard while the GXA7 runs the heavy tail beats running
+        whole-model replicas on both boards.
+        """
+        result = search_partitions(
+            vgg_quarter, [STRATIX_V_GXA7, STRATIX_V_GXA3]
+        )
+        assert result.best.n_shards == 2
+        assert result.best.throughput_ips > result.replication.total_ips
+        assert result.speedup_vs_replication > 1.0
+
+    def test_search_is_exhaustive_and_ranked(self, alexnet_half):
+        result = search_partitions(
+            alexnet_half, [STRATIX_V_GXA7, ARRIA_10_GX1150], max_shards=2
+        )
+        layers = len(alexnet_half.layers)
+        # k=1: 2 assignments; k=2: (layers-1) cuts x 2 orderings.
+        assert result.space_size == 2 + (layers - 1) * 2
+        assert result.evaluated == result.space_size
+        rates = [plan.throughput_ips for plan in result.candidates]
+        assert rates == sorted(rates, reverse=True)
+        assert result.sampler == "exhaustive"
+
+    def test_single_device_degenerates_to_whole_model(self, alexnet_half):
+        result = search_partitions(
+            alexnet_half, [STRATIX_V_GXA7], max_shards=1
+        )
+        assert result.best.n_shards == 1
+        assert result.best.transfers == ()
+        assert result.best.throughput_ips == pytest.approx(
+            result.replication.per_device_ips[STRATIX_V_GXA7.name]
+        )
+
+    def test_link_pricing_penalizes_wide_cuts(self, vgg_quarter):
+        fast = search_partitions(
+            vgg_quarter,
+            [STRATIX_V_GXA7, STRATIX_V_GXA3],
+            link=LinkModel(bandwidth_gbs=100.0, name="fast"),
+        )
+        slow = search_partitions(
+            vgg_quarter,
+            [STRATIX_V_GXA7, STRATIX_V_GXA3],
+            link=LinkModel(bandwidth_gbs=0.05, latency_s=1e-3, name="slow"),
+        )
+        assert fast.best.throughput_ips >= slow.best.throughput_ips
+
+    def test_duplicate_devices_rejected(self, alexnet_half):
+        with pytest.raises(ValueError):
+            search_partitions(alexnet_half, [STRATIX_V_GXA7, STRATIX_V_GXA7])
+
+    def test_render_mentions_baseline(self, vgg_quarter):
+        result = search_partitions(
+            vgg_quarter, [STRATIX_V_GXA7, STRATIX_V_GXA3]
+        )
+        text = result.render()
+        assert "replication baseline" in text
+        assert "pipelined vs replicated" in text
+
+
+class TestReplicationBaseline:
+    def test_infeasible_device_contributes_zero(self, vgg_quarter):
+        baseline = replication_baseline(
+            vgg_quarter, [STRATIX_V_GXA7, CYCLONE_V_SE]
+        )
+        assert baseline.per_device_ips[STRATIX_V_GXA7.name] > 0
+        assert baseline.per_device_ips[CYCLONE_V_SE.name] == 0.0
+        assert baseline.feasible_devices == (STRATIX_V_GXA7.name,)
+        assert baseline.total_ips == pytest.approx(
+            baseline.per_device_ips[STRATIX_V_GXA7.name]
+        )
+
+
+class TestPartitionCache:
+    def test_memo_hits_across_repeat_searches(self, alexnet_half):
+        search_partitions(alexnet_half, [STRATIX_V_GXA7, STRATIX_V_GXA3])
+        first = partition_cache_stats()
+        assert first.name == "dse.partition"
+        assert first.misses > 0
+        # The cut x assignment product re-visits slices: hits must occur.
+        assert first.hits > 0
+        search_partitions(alexnet_half, [STRATIX_V_GXA7, STRATIX_V_GXA3])
+        second = partition_cache_stats()
+        assert second.misses == first.misses  # everything memoized
+        assert second.hits > first.hits
+
+
+class TestPartitionSpace:
+    def test_axes_cover_cuts_and_devices(self):
+        space = partition_space(n_layers=8, n_devices=3, n_shards=2)
+        assert space.names == ("cut1", "device0", "device1")
+        assert space.size == 7 * 3 * 3
+
+    def test_rejects_impossible_shard_counts(self):
+        with pytest.raises(ValueError):
+            partition_space(n_layers=8, n_devices=3, n_shards=1)
+        with pytest.raises(ValueError):
+            partition_space(n_layers=2, n_devices=3, n_shards=3)
+
+
+class TestPartitionStudy:
+    def test_random_study_finds_a_feasible_plan(self, alexnet_half, tmp_path):
+        path = str(tmp_path / "study.jsonl")
+        result = partition_study(
+            alexnet_half,
+            [STRATIX_V_GXA7, STRATIX_V_GXA3],
+            n_shards=2,
+            trials=10,
+            sampler="random",
+            seed=5,
+            path=path,
+        )
+        assert result.sampled_trials == 10
+        assert result.best is not None
+        assert result.best.n_shards == 2
+        feasible = [t for t in result.study.trials if t.feasible]
+        assert feasible, "no feasible trial in 10 samples"
+        for trial in feasible:
+            assert set(trial.values) == {"throughput_ips", "fill_latency_s"}
+
+    def test_infeasible_combos_are_recorded_not_skipped(self, alexnet_half):
+        result = partition_study(
+            alexnet_half,
+            [STRATIX_V_GXA7, STRATIX_V_GXA3],
+            n_shards=2,
+            trials=16,
+            sampler="random",
+            seed=2,
+        )
+        # Duplicate-device assignments exist in the sampled space and must
+        # appear as infeasible trials with empty values.
+        infeasible = [t for t in result.study.trials if not t.feasible]
+        assert all(t.values == {} for t in infeasible)
+
+    def test_study_is_deterministic(self, alexnet_half):
+        runs = [
+            partition_study(
+                alexnet_half,
+                [STRATIX_V_GXA7, STRATIX_V_GXA3],
+                n_shards=2,
+                trials=8,
+                sampler="tpe",
+                seed=9,
+            )
+            for _ in range(2)
+        ]
+        a, b = (
+            [(t.params, t.values, t.feasible) for t in r.study.trials]
+            for r in runs
+        )
+        assert a == b
+
+    def test_resume_continues_without_resampling(self, alexnet_half, tmp_path):
+        path = str(tmp_path / "resume.jsonl")
+        first = partition_study(
+            alexnet_half,
+            [STRATIX_V_GXA7, STRATIX_V_GXA3],
+            n_shards=2,
+            trials=6,
+            sampler="random",
+            seed=3,
+            path=path,
+        )
+        resumed = partition_study(
+            alexnet_half,
+            [STRATIX_V_GXA7, STRATIX_V_GXA3],
+            n_shards=2,
+            trials=12,
+            sampler="random",
+            seed=3,
+            path=path,
+            resume=True,
+        )
+        assert resumed.sampled_trials == 12
+        # The first 6 trials are byte-identical to the original run.
+        for old, new in zip(first.study.trials, resumed.study.trials):
+            assert old.params == new.params
+            assert old.values == new.values
+        keys = [tuple(sorted(t.params.items())) for t in resumed.study.trials]
+        assert len(keys) == len(set(keys)), "resume re-sampled a point"
+
+
+class TestProvenance:
+    def test_seed_field_round_trips(self, alexnet_half):
+        result = search_partitions(
+            alexnet_half, [STRATIX_V_GXA7, STRATIX_V_GXA3], seed=42
+        )
+        assert isinstance(result, PartitionSearchResult)
+        assert result.seed == 42
+        assert result.sampler == "exhaustive"

@@ -1,0 +1,248 @@
+"""Serving over partitioned shards (repro.serve PipelinedProfile + mixed).
+
+Pins the serve-side integration of the tentpole: the N-stage
+:class:`PipelinedProfile` carries the tandem-line timing of a
+:class:`repro.shard.plan.ShardPlan` into the event-driven engine with
+float-identical arithmetic, and :func:`simulate_mixed_fleet` routes a
+multi-SLO request population across replica and pipelined groups with
+configuration errors rejected loudly.
+"""
+
+import pytest
+
+from repro.hw.config import AcceleratorConfig
+from repro.hw.device import STRATIX_V_GXA3, STRATIX_V_GXA7
+from repro.serve import (
+    BatchPolicy,
+    EventDrivenSimulator,
+    EventRequest,
+    FleetGroup,
+    PipelinedProfile,
+    ServiceProfile,
+    SLOClass,
+    simulate_mixed_fleet,
+    trace_requests,
+)
+from repro.serve.loadgen import poisson_trace
+from repro.shard import LinkModel, ShardPlan, ShardSpec
+
+
+def _config() -> AcceleratorConfig:
+    return AcceleratorConfig(
+        n_cu=2, n_knl=14, n_share=4, s_ec=16, d_f=64, d_w=64, d_q=64,
+        freq_mhz=200.0,
+    )
+
+
+def _two_shard_plan() -> ShardPlan:
+    link = LinkModel(bandwidth_gbs=6.0, latency_s=5e-6)
+    return ShardPlan(
+        model="toy",
+        shards=(
+            ShardSpec(
+                index=0, layers=("conv1",), device=STRATIX_V_GXA7,
+                config=_config(), seconds_per_image=2e-4,
+                dense_ops_per_image=1_000_000,
+            ),
+            ShardSpec(
+                index=1, layers=("conv2", "fc3"), device=STRATIX_V_GXA3,
+                config=_config(), seconds_per_image=3e-4,
+                dense_ops_per_image=2_000_000,
+            ),
+        ),
+        transfers=(link.transfer(10_000),),
+        dense_ops_per_image=3_000_000,
+    )
+
+
+class TestPipelinedProfile:
+    def test_timing_arithmetic(self):
+        profile = PipelinedProfile(
+            stage_s=(2e-4, 3e-4, 1e-4), link_s=(1e-5, 2e-5)
+        )
+        assert profile.service_times == (2e-4, 1e-5, 3e-4, 2e-5, 1e-4)
+        assert profile.n_stages == 3
+        assert profile.step_s == 3e-4
+        assert profile.fill_s == pytest.approx(6.3e-4)
+        assert profile.capacity_rps == pytest.approx(1 / 3e-4)
+        assert profile.batch_seconds(1) == profile.fill_s
+        assert profile.batch_seconds(4) == pytest.approx(
+            profile.fill_s + 3 * profile.step_s
+        )
+
+    def test_a_link_can_be_the_bottleneck(self):
+        profile = PipelinedProfile(stage_s=(1e-4, 1e-4), link_s=(5e-4,))
+        assert profile.step_s == 5e-4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelinedProfile(stage_s=())
+        with pytest.raises(ValueError):
+            PipelinedProfile(stage_s=(1e-4, -1e-4), link_s=(0.0,))
+        with pytest.raises(ValueError):
+            PipelinedProfile(stage_s=(1e-4, 1e-4), link_s=())  # missing link
+        with pytest.raises(ValueError):
+            PipelinedProfile(stage_s=(1e-4, 1e-4), link_s=(-1e-5,))
+        with pytest.raises(ValueError):
+            PipelinedProfile(stage_s=(1e-4,), queue_depth=0)
+        with pytest.raises(ValueError):
+            PipelinedProfile(stage_s=(1e-4,)).batch_seconds(0)
+
+    def test_from_shard_plan_is_float_identical(self):
+        """Serving estimates must agree with the partition search bit for
+        bit — same floats through the same interleave/sum/max."""
+        plan = _two_shard_plan()
+        profile = PipelinedProfile.from_shard_plan(plan)
+        assert profile.service_times == plan.service_times
+        assert profile.fill_s == plan.fill_latency_s
+        assert profile.step_s == plan.bottleneck_s
+        assert profile.dense_ops_per_image == plan.dense_ops_per_image
+        assert profile.name == "toy:pipeline"
+        for batch in (1, 2, 7, 32):
+            assert profile.batch_seconds(batch) == plan.batch_seconds(batch)
+
+
+class TestPipelinedEventEngine:
+    def test_single_batch_makespan_is_fill_plus_steps(self):
+        """The engine's virtual clock runs on the pipeline law."""
+        profile = PipelinedProfile(stage_s=(2e-4, 3e-4), link_s=(1e-5,))
+        engine = EventDrivenSimulator(
+            profile, BatchPolicy(max_batch=8, max_wait_s=0.0)
+        )
+        report = engine.run(
+            [EventRequest(i, 0.0) for i in range(8)]
+        )
+        assert report.served == 8
+        assert len(report.batches) == 1
+        assert report.makespan_s == profile.batch_seconds(8)
+
+    def test_sequential_batches_queue_on_one_instance(self):
+        profile = PipelinedProfile(stage_s=(1e-3,))
+        engine = EventDrivenSimulator(
+            profile, BatchPolicy(max_batch=1, max_wait_s=0.0)
+        )
+        report = engine.run([EventRequest(i, 0.0) for i in range(3)])
+        assert report.served == 3
+        # Back-to-back single-image batches on one instance.
+        assert report.makespan_s == pytest.approx(3 * profile.batch_seconds(1))
+
+
+def _mixed_groups():
+    replica = ServiceProfile(fpga_s=1e-3, host_s=5e-4, name="replica")
+    pipeline = PipelinedProfile(
+        stage_s=(4e-4, 6e-4), link_s=(1e-5,), name="pipeline"
+    )
+    return (
+        FleetGroup(
+            name="latency", profile=replica, instances=2,
+            slo_classes=("interactive",),
+        ),
+        FleetGroup(
+            name="bulk", profile=pipeline, instances=1,
+            slo_classes=("batch",),
+        ),
+    )
+
+
+_CLASSES = (
+    SLOClass(name="interactive", priority=0),
+    SLOClass(name="batch", priority=1),
+)
+
+
+class TestMixedFleet:
+    def test_routes_by_slo_class(self):
+        trace = poisson_trace(
+            count=40, rate_rps=500.0, seed=4,
+            slo_mix={"interactive": 0.5, "batch": 0.5},
+        )
+        requests = trace_requests(trace)
+        report = simulate_mixed_fleet(
+            _mixed_groups(), requests, BatchPolicy(max_batch=4), _CLASSES
+        )
+        assert report.groups == ("latency", "bulk")
+        assert report.idle_groups == ()
+        by_class = {"interactive": 0, "batch": 0}
+        for request in requests:
+            by_class[request.slo] += 1
+        assert report.report_for("latency").offered == by_class["interactive"]
+        assert report.report_for("bulk").offered == by_class["batch"]
+        assert report.offered == len(requests)
+        assert report.served + report.rejected == report.offered
+        assert report.makespan_s == max(
+            r.makespan_s for r in report.reports.values()
+        )
+        assert report.requests_per_second > 0
+
+    def test_idle_group_gets_no_report(self):
+        requests = [EventRequest(i, i * 1e-3, slo="interactive")
+                    for i in range(5)]
+        report = simulate_mixed_fleet(
+            _mixed_groups(), requests, BatchPolicy(max_batch=2), _CLASSES
+        )
+        assert report.idle_groups == ("bulk",)
+        assert "bulk" not in report.reports
+        with pytest.raises(KeyError):
+            report.report_for("bulk")
+
+    def test_configuration_errors_are_loud(self):
+        groups = _mixed_groups()
+        policy = BatchPolicy(max_batch=2)
+        requests = [EventRequest(0, 0.0, slo="interactive")]
+        with pytest.raises(ValueError, match="at least one"):
+            simulate_mixed_fleet((), requests, policy, _CLASSES)
+        with pytest.raises(ValueError, match="duplicate group names"):
+            simulate_mixed_fleet(
+                (groups[0], groups[0]), requests, policy, _CLASSES
+            )
+        with pytest.raises(ValueError, match="unknown SLO class"):
+            simulate_mixed_fleet(
+                groups, requests, policy, classes=(_CLASSES[0],)
+            )
+        both = FleetGroup(
+            name="greedy", profile=groups[0].profile,
+            slo_classes=("interactive",),
+        )
+        with pytest.raises(ValueError, match="claimed by both"):
+            simulate_mixed_fleet(
+                (groups[0], groups[1], both), requests, policy, _CLASSES
+            )
+        with pytest.raises(ValueError, match="not served by any group"):
+            simulate_mixed_fleet(
+                (groups[0],), requests, policy, _CLASSES
+            )
+        with pytest.raises(ValueError, match="unknown"):
+            simulate_mixed_fleet(
+                groups,
+                [EventRequest(0, 0.0, slo="nope")],
+                policy,
+                _CLASSES,
+            )
+
+    def test_group_validation(self):
+        profile = ServiceProfile(fpga_s=1e-3, host_s=1e-4)
+        with pytest.raises(ValueError):
+            FleetGroup(name="", profile=profile)
+        with pytest.raises(ValueError):
+            FleetGroup(name="g", profile=profile, instances=0)
+        with pytest.raises(ValueError):
+            FleetGroup(name="g", profile=profile, slo_classes=())
+        with pytest.raises(ValueError):
+            FleetGroup(name="g", profile=profile,
+                       slo_classes=("a", "a"))
+
+
+class TestTraceRequests:
+    def test_round_trips_arrivals_and_classes(self):
+        trace = poisson_trace(
+            count=12, rate_rps=100.0, seed=7,
+            slo_mix={"interactive": 0.3, "batch": 0.7},
+        )
+        requests = trace_requests(trace)
+        assert len(requests) == 12
+        assert [r.arrival_s for r in requests] == trace.arrivals.tolist()
+        names = trace.class_names
+        assert [r.slo for r in requests] == [
+            names[c] for c in trace.class_ids.tolist()
+        ]
+        assert [r.request_id for r in requests] == list(range(12))
